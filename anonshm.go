@@ -1,0 +1,320 @@
+package anonshm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/consensus"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/renaming"
+	"anonshm/internal/runtime"
+	"anonshm/internal/sched"
+	"anonshm/internal/tasks"
+	"anonshm/internal/view"
+)
+
+// Option configures a run.
+type Option func(*config)
+
+type config struct {
+	registers int
+	wirings   [][]int
+	seed      int64
+	seedSet   bool
+	simulated bool
+	maxSteps  int
+}
+
+// WithRegisters sets M, the number of shared registers. The default — and
+// the paper's setting — is N, the number of processors; fewer than N makes
+// non-trivial tasks unsolvable (Section 2.1).
+func WithRegisters(m int) Option { return func(c *config) { c.registers = m } }
+
+// WithWirings fixes the processors' wiring permutations instead of drawing
+// them from the seed. Each wiring must be a permutation of 0..M-1.
+func WithWirings(w [][]int) Option { return func(c *config) { c.wirings = w } }
+
+// WithSeed seeds the run: random wirings (unless fixed with WithWirings)
+// and, in simulated mode, the schedule. Runs with equal seeds and equal
+// inputs are reproducible in simulated mode.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed, c.seedSet = seed, true }
+}
+
+// Simulated runs the algorithm under a seeded random step-level scheduler
+// instead of real goroutines: fully deterministic given WithSeed.
+func Simulated() Option { return func(c *config) { c.simulated = true } }
+
+// WithMaxSteps bounds the total steps in simulated mode and the per-
+// processor steps in goroutine mode (0 = a generous default).
+func WithMaxSteps(n int) Option { return func(c *config) { c.maxSteps = n } }
+
+func buildConfig(n int, opts []Option) (*config, error) {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.registers == 0 {
+		c.registers = n
+	}
+	if c.registers <= 0 || c.registers > 64 {
+		return nil, fmt.Errorf("anonshm: register count %d out of range [1,64]", c.registers)
+	}
+	if !c.seedSet {
+		c.seed = 1
+	}
+	if c.wirings == nil {
+		rng := rand.New(rand.NewSource(c.seed))
+		c.wirings = anonmem.RandomWirings(rng, n, c.registers)
+	}
+	if len(c.wirings) != n {
+		return nil, fmt.Errorf("anonshm: %d wirings for %d processors", len(c.wirings), n)
+	}
+	return c, nil
+}
+
+// run executes the machines to completion under the configured mode.
+// finishSequentially permits finishing stragglers one at a time after the
+// concurrent phase — sound for obstruction-free algorithms.
+func (c *config) run(machines []machine.Machine, finishSequentially bool) error {
+	n := len(machines)
+	if c.simulated {
+		mem, err := anonmem.New(c.registers, core.EmptyCell, c.wirings)
+		if err != nil {
+			return err
+		}
+		sys, err := machine.NewSystem(mem, machines)
+		if err != nil {
+			return err
+		}
+		budget := c.maxSteps
+		if budget == 0 {
+			budget = 200_000 * n * n
+		}
+		s := &sched.Random{Rng: rand.New(rand.NewSource(c.seed)), ChoiceRandom: true}
+		res, err := sched.Run(sys, s, budget, nil)
+		if err != nil {
+			return err
+		}
+		if res.Reason == sched.StopAllDone {
+			return nil
+		}
+		if !finishSequentially {
+			return fmt.Errorf("anonshm: run did not complete within %d steps", budget)
+		}
+		res, err = sched.Run(sys, sched.NewSolo(n), budget, nil)
+		if err != nil {
+			return err
+		}
+		if res.Reason != sched.StopAllDone {
+			return fmt.Errorf("anonshm: sequential completion failed after %d steps", res.Steps)
+		}
+		return nil
+	}
+
+	perProc := c.maxSteps
+	if perProc == 0 {
+		perProc = 2_000_000
+	}
+	outcome, err := runtime.Run(runtime.Config{
+		Registers:       c.registers,
+		Wirings:         c.wirings,
+		Initial:         core.EmptyCell,
+		Seed:            c.seed,
+		MaxStepsPerProc: perProc,
+	}, machines)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < n; p++ {
+		if outcome.Done[p] {
+			continue
+		}
+		if !finishSequentially {
+			return fmt.Errorf("anonshm: processor %d did not terminate within %d steps", p, perProc)
+		}
+		m := machines[p]
+		for steps := 0; len(m.Pending()) > 0; steps++ {
+			if steps > perProc {
+				return fmt.Errorf("anonshm: processor %d did not terminate sequentially", p)
+			}
+			op := m.Pending()[0]
+			switch op.Kind {
+			case machine.OpRead:
+				m.Advance(0, outcome.Memory.Read(p, op.Reg))
+			case machine.OpWrite:
+				outcome.Memory.Write(p, op.Reg, op.Word)
+				m.Advance(0, nil)
+			case machine.OpOutput:
+				m.Advance(0, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot solves the snapshot task among len(inputs) anonymous
+// processors: processor i contributes inputs[i] (equal inputs form a
+// group) and receives a set of participating inputs containing its own.
+// All returned sets are related by containment. Wait-free; uses
+// len(inputs) registers by default.
+func Snapshot(inputs []string, opts ...Option) ([][]string, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("anonshm: no inputs")
+	}
+	c, err := buildConfig(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	in := view.NewInterner()
+	machines := make([]machine.Machine, n)
+	for i, label := range inputs {
+		machines[i] = core.NewSnapshot(n, c.registers, in.Intern(label), true)
+	}
+	if err := c.run(machines, false); err != nil {
+		return nil, err
+	}
+	out := make([][]string, n)
+	for i, m := range machines {
+		cell, ok := m.Output().(core.Cell)
+		if !ok {
+			return nil, fmt.Errorf("anonshm: processor %d output %T", i, m.Output())
+		}
+		out[i] = labelsOf(cell.View, in)
+	}
+	return out, nil
+}
+
+// Rename solves adaptive renaming: processor i, in the group named by
+// inputs[i], acquires a name in 1..n(n+1)/2 where n is the number of
+// distinct participating groups. Processors of different groups never
+// share a name; same-group processors may. Wait-free.
+func Rename(inputs []string, opts ...Option) ([]int, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("anonshm: no inputs")
+	}
+	c, err := buildConfig(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	in := view.NewInterner()
+	machines := make([]machine.Machine, n)
+	for i, label := range inputs {
+		machines[i] = renaming.New(n, c.registers, in.Intern(label), true)
+	}
+	if err := c.run(machines, false); err != nil {
+		return nil, err
+	}
+	names := make([]int, n)
+	for i, m := range machines {
+		name, ok := m.Output().(renaming.Name)
+		if !ok {
+			return nil, fmt.Errorf("anonshm: processor %d output %T", i, m.Output())
+		}
+		names[i] = int(name)
+	}
+	return names, nil
+}
+
+// Agree solves consensus: all processors decide the same participating
+// input. The algorithm is obstruction-free, not wait-free: under heavy
+// contention a processor may be delayed indefinitely, so Agree bounds the
+// contended phase and completes stragglers one at a time (any processor
+// running solo decides).
+func Agree(inputs []string, opts ...Option) (string, error) {
+	n := len(inputs)
+	if n == 0 {
+		return "", fmt.Errorf("anonshm: no inputs")
+	}
+	c, err := buildConfig(n, opts)
+	if err != nil {
+		return "", err
+	}
+	in := view.NewInterner()
+	machines := make([]machine.Machine, n)
+	for i, label := range inputs {
+		cm, err := consensus.New(in, n, c.registers, label, true)
+		if err != nil {
+			return "", err
+		}
+		machines[i] = cm
+	}
+	if err := c.run(machines, true); err != nil {
+		return "", err
+	}
+	decided := ""
+	for i, m := range machines {
+		d, ok := m.Output().(consensus.Decision)
+		if !ok {
+			return "", fmt.Errorf("anonshm: processor %d output %T", i, m.Output())
+		}
+		if decided == "" {
+			decided = string(d)
+		} else if string(d) != decided {
+			return "", fmt.Errorf("anonshm: agreement violated: %q vs %q (please report this bug)", decided, d)
+		}
+	}
+	return decided, nil
+}
+
+func labelsOf(v view.View, in *view.Interner) []string {
+	ids := v.IDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = in.Label(id)
+	}
+	return out
+}
+
+// VerifySnapshot checks snapshot outputs against the group-solvability
+// condition of the snapshot task (Definition 3.4): each set contains the
+// processor's own input and only participating inputs, and outputs of
+// different groups are related by containment.
+func VerifySnapshot(inputs []string, outputs [][]string) error {
+	if len(inputs) != len(outputs) {
+		return fmt.Errorf("anonshm: %d inputs, %d outputs", len(inputs), len(outputs))
+	}
+	in := view.NewInterner()
+	in.InternAll(inputs)
+	outs := make([]tasks.SnapshotOutput, len(outputs))
+	for i, set := range outputs {
+		v := view.Empty()
+		for _, label := range set {
+			id, ok := in.Lookup(label)
+			if !ok {
+				return fmt.Errorf("anonshm: output %d contains unknown value %q", i, label)
+			}
+			v = v.With(id)
+		}
+		outs[i] = tasks.SnapshotOutput{Set: v, Done: true}
+	}
+	return tasks.CheckGroupSnapshot(tasks.Execution{Groups: inputs}, in, outs)
+}
+
+// VerifyRenaming checks renaming outputs: names within 1..n(n+1)/2 for n
+// participating groups, distinct across groups.
+func VerifyRenaming(inputs []string, names []int) error {
+	if len(inputs) != len(names) {
+		return fmt.Errorf("anonshm: %d inputs, %d names", len(inputs), len(names))
+	}
+	outs := make([]tasks.RenamingOutput, len(names))
+	for i, n := range names {
+		outs[i] = tasks.RenamingOutput{Name: n, Done: true}
+	}
+	return tasks.CheckGroupRenaming(tasks.Execution{Groups: inputs}, tasks.RenamingParam, outs)
+}
+
+// VerifyConsensus checks that decision is a participating input (all
+// processors of Agree decide identically by construction).
+func VerifyConsensus(inputs []string, decision string) error {
+	for _, v := range inputs {
+		if v == decision {
+			return nil
+		}
+	}
+	return fmt.Errorf("anonshm: decision %q is not a participating input", decision)
+}

@@ -1,0 +1,143 @@
+package anonshm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSnapshotPublicAPI(t *testing.T) {
+	for _, mode := range []string{"goroutines", "simulated"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				inputs := []string{"alice", "bob", "carol", "alice"}
+				opts := []Option{WithSeed(seed)}
+				if mode == "simulated" {
+					opts = append(opts, Simulated())
+				}
+				sets, err := Snapshot(inputs, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := VerifySnapshot(inputs, sets); err != nil {
+					t.Errorf("seed %d: %v (sets=%v)", seed, err, sets)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotSimulatedReproducible(t *testing.T) {
+	inputs := []string{"a", "b", "c"}
+	a, err := Snapshot(inputs, Simulated(), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Snapshot(inputs, Simulated(), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different outputs: %v vs %v", a, b)
+	}
+}
+
+func TestRenamePublicAPI(t *testing.T) {
+	inputs := []string{"g1", "g2", "g3", "g1", "g2"}
+	names, err := Rename(inputs, WithSeed(3), Simulated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRenaming(inputs, names); err != nil {
+		t.Errorf("%v (names=%v)", err, names)
+	}
+	// 3 distinct groups: bound 6.
+	for i, n := range names {
+		if n < 1 || n > 6 {
+			t.Errorf("name[%d] = %d outside 1..6", i, n)
+		}
+	}
+}
+
+func TestAgreePublicAPI(t *testing.T) {
+	for _, mode := range []string{"goroutines", "simulated"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			inputs := []string{"red", "green", "blue"}
+			opts := []Option{WithSeed(9)}
+			if mode == "simulated" {
+				opts = append(opts, Simulated())
+			}
+			decision, err := Agree(inputs, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyConsensus(inputs, decision); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Snapshot(nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if _, err := Snapshot([]string{"a"}, WithRegisters(65)); err == nil {
+		t.Error("oversized registers accepted")
+	}
+	if _, err := Snapshot([]string{"a"}, WithWirings([][]int{{0}, {0}})); err == nil {
+		t.Error("mismatched wirings accepted")
+	}
+	if _, err := Rename(nil); err == nil {
+		t.Error("rename empty inputs accepted")
+	}
+	if _, err := Agree(nil); err == nil {
+		t.Error("agree empty inputs accepted")
+	}
+}
+
+func TestWithWiringsAndRegisters(t *testing.T) {
+	inputs := []string{"x", "y"}
+	// 3 registers with fixed wirings.
+	sets, err := Snapshot(inputs,
+		WithRegisters(3),
+		WithWirings([][]int{{0, 1, 2}, {2, 0, 1}}),
+		Simulated(), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshot(inputs, sets); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyHelpersDetectViolations(t *testing.T) {
+	if err := VerifySnapshot([]string{"a", "b"}, [][]string{{"a"}, {"b"}}); err == nil {
+		t.Error("incomparable snapshot accepted")
+	}
+	if err := VerifySnapshot([]string{"a"}, [][]string{{"zzz"}}); err == nil {
+		t.Error("unknown value accepted")
+	}
+	if err := VerifySnapshot([]string{"a"}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := VerifyRenaming([]string{"a", "b"}, []int{2, 2}); err == nil {
+		t.Error("cross-group name clash accepted")
+	}
+	if err := VerifyRenaming([]string{"a"}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := VerifyConsensus([]string{"a", "b"}, "c"); err == nil {
+		t.Error("non-participating decision accepted")
+	}
+}
+
+func ExampleSnapshot() {
+	sets, err := Snapshot([]string{"a", "b"}, Simulated(), WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(sets))
+	// Output: 2
+}

@@ -1,0 +1,177 @@
+// Command anonsim runs fully-anonymous shared-memory algorithms under
+// configurable schedulers and wirings, printing outputs and optional
+// step-by-step traces.
+//
+// Examples:
+//
+//	anonsim -algo snapshot -inputs a,b,c -sched random -seed 7
+//	anonsim -algo writescan -inputs 1,2,3 -wiring rotation -steps 120 -trace
+//	anonsim -algo consensus -inputs x,y -sched solo
+//	anonsim -algo renaming -inputs g1,g1,g2 -sched coverer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/baseline"
+	"anonshm/internal/consensus"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/renaming"
+	"anonshm/internal/sched"
+	"anonshm/internal/trace"
+	"anonshm/internal/view"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "snapshot", "algorithm: snapshot | writescan | doublecollect | renaming | consensus")
+		inputsCSV = flag.String("inputs", "a,b,c", "comma-separated processor inputs (equal inputs form a group)")
+		registers = flag.Int("registers", 0, "number of registers M (0 = number of processors)")
+		schedName = flag.String("sched", "random", "scheduler: rr | random | solo | coverer")
+		wiring    = flag.String("wiring", "random", "wirings: identity | rotation | random")
+		seed      = flag.Int64("seed", 1, "seed for random wirings/scheduling")
+		steps     = flag.Int("steps", 0, "step budget (0 = generous default)")
+		showTrace = flag.Bool("trace", false, "print the execution trace")
+		nondet    = flag.Bool("nondet", false, "expose the algorithms' internal register choices to the scheduler")
+	)
+	flag.Parse()
+	if err := run(*algo, *inputsCSV, *registers, *schedName, *wiring, *seed, *steps, *showTrace, *nondet); err != nil {
+		fmt.Fprintln(os.Stderr, "anonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo, inputsCSV string, registers int, schedName, wiring string, seed int64, steps int, showTrace, nondet bool) error {
+	inputs := strings.Split(inputsCSV, ",")
+	n := len(inputs)
+	if n == 0 || inputs[0] == "" {
+		return fmt.Errorf("no inputs")
+	}
+	m := registers
+	if m == 0 {
+		m = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var wirings [][]int
+	switch wiring {
+	case "identity":
+		wirings = anonmem.IdentityWirings(n, m)
+	case "rotation":
+		wirings = anonmem.RotationWirings(n, m)
+	case "random":
+		wirings = anonmem.RandomWirings(rng, n, m)
+	default:
+		return fmt.Errorf("unknown wiring %q", wiring)
+	}
+
+	in := view.NewInterner()
+	machines := make([]machine.Machine, n)
+	for i, label := range inputs {
+		switch algo {
+		case "snapshot":
+			machines[i] = core.NewSnapshot(n, m, in.Intern(label), nondet)
+		case "writescan":
+			machines[i] = core.NewWriteScan(m, in.Intern(label), nondet)
+		case "doublecollect":
+			machines[i] = baseline.NewDoubleCollect(m, in.Intern(label))
+		case "renaming":
+			machines[i] = renaming.New(n, m, in.Intern(label), nondet)
+		case "consensus":
+			cm, err := consensus.New(in, n, m, label, nondet)
+			if err != nil {
+				return err
+			}
+			machines[i] = cm
+		default:
+			return fmt.Errorf("unknown algorithm %q", algo)
+		}
+	}
+	mem, err := anonmem.New(m, core.EmptyCell, wirings)
+	if err != nil {
+		return err
+	}
+	sys, err := machine.NewSystem(mem, machines)
+	if err != nil {
+		return err
+	}
+
+	var scheduler sched.Scheduler
+	switch schedName {
+	case "rr":
+		scheduler = &sched.RoundRobin{}
+	case "random":
+		scheduler = &sched.Random{Rng: rng, ChoiceRandom: nondet}
+	case "solo":
+		scheduler = sched.NewSolo(n)
+	case "coverer":
+		scheduler = &sched.Coverer{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+
+	budget := steps
+	if budget == 0 {
+		budget = 200_000 * n * n
+		if algo == "writescan" {
+			budget = 60 * n * (m + 1) // a bounded look at the infinite loop
+		}
+	}
+
+	rec := &trace.Recorder{}
+	if showTrace {
+		rec.WordFormat = func(w anonmem.Word) string {
+			if cell, ok := w.(core.Cell); ok {
+				if cell.Level != 0 {
+					return fmt.Sprintf("%s@%d", cell.View.Format(in), cell.Level)
+				}
+				return cell.View.Format(in)
+			}
+			return w.Key()
+		}
+		rec.ViewFormat = func(sys *machine.System, p int) string {
+			if v, ok := sys.Procs[p].(core.Viewer); ok {
+				return v.View().Format(in)
+			}
+			return sys.Procs[p].StateKey()
+		}
+	}
+	res, err := sched.Run(sys, scheduler, budget, rec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm=%s n=%d m=%d scheduler=%s wiring=%s seed=%d\n", algo, n, m, schedName, wiring, seed)
+	fmt.Printf("steps=%d stop=%s\n", res.Steps, res.Reason)
+	for p, mm := range sys.Procs {
+		status := "running"
+		out := ""
+		if mm.Done() {
+			status = "done"
+			switch o := mm.Output().(type) {
+			case core.Cell:
+				out = o.View.Format(in)
+			case renaming.Name:
+				out = fmt.Sprintf("name %d", int(o))
+			case consensus.Decision:
+				out = fmt.Sprintf("decided %q", string(o))
+			default:
+				out = o.Key()
+			}
+		} else if v, ok := mm.(core.Viewer); ok {
+			out = "view " + v.View().Format(in)
+		}
+		fmt.Printf("p%d input=%-8q %-8s %s\n", p+1, inputs[p], status, out)
+	}
+	if showTrace {
+		fmt.Println()
+		fmt.Print(rec.RenderFigure(trace.DescribeStep))
+	}
+	return nil
+}

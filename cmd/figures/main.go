@@ -1,0 +1,86 @@
+// Command figures regenerates every experiment in EXPERIMENTS.md: the
+// Figure 2 table, the stable-view DAG statistics (Theorem 4.8), the
+// exhaustive snapshot checks (safety, wait-freedom), the non-atomicity
+// search, renaming and consensus validation, the Section 2.1 lower bound,
+// the Gafni group example, the baseline ablations and the step-complexity
+// scaling table.
+//
+// Run all quick experiments with:
+//
+//	figures -e all
+//
+// or a single one, e.g.:
+//
+//	figures -e fig2
+//
+// The heavyweight exhaustive N=3 experiments are gated behind -heavy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	about string
+	run   func() error
+	heavy bool
+}
+
+var experiments = []experiment{
+	{"fig2", "E1: replay the Figure 2 pathological execution exactly", runFig2, false},
+	{"shadows", "E1b: the five-processor variant with shadows p and p'", runShadows, false},
+	{"dag", "E2: stable views form a single-source DAG (Theorem 4.8)", runDAG, false},
+	{"safety", "E3: exhaustive snapshot-task safety (N=2 all wirings; N=3 with -heavy)", runSafety, false},
+	{"waitfree", "E4: exhaustive wait-freedom via acyclicity (N=2 all wirings)", runWaitFree, false},
+	{"atomicity", "E5: non-atomicity witness search", runAtomicity, false},
+	{"renaming", "E6: adaptive renaming validation across schedulers and groups", runRenaming, false},
+	{"consensus", "E7: consensus agreement/validity/obstruction-freedom", runConsensus, false},
+	{"lowerbound", "E8: N-1 registers let coverings erase a solo processor", runLowerBound, false},
+	{"registers", "E9: all three tasks complete with exactly N registers", runRegisters, false},
+	{"groups", "E10: the Gafni group-snapshot example of Section 3.2", runGroups, false},
+	{"baseline", "E11: double collect and weak counter fail; the level rule resists", runBaseline, false},
+	{"steps", "E12: step complexity of the snapshot algorithm vs N", runSteps, false},
+	{"lemmas", "E13: Definition 5.1 and Lemmas 5.2/5.3 validated on random executions", runLemmas, false},
+	{"safety3", "E3-heavy: bounded-exhaustive N=3 snapshot safety over all 36 wirings", runSafety3, true},
+	{"consensus3", "E7-heavy: bounded-exhaustive N=3 consensus agreement", runConsensus3, true},
+}
+
+func main() {
+	var (
+		which = flag.String("e", "all", "experiment: all | "+names())
+		heavy = flag.Bool("heavy", false, "include the heavyweight exhaustive experiments")
+	)
+	flag.Parse()
+	ran := 0
+	for _, ex := range experiments {
+		if *which != "all" && *which != ex.name {
+			continue
+		}
+		if ex.heavy && *which == "all" && !*heavy {
+			continue
+		}
+		fmt.Printf("== %s — %s\n\n", ex.name, ex.about)
+		if err := ex.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", ex.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (have: %s)\n", *which, names())
+		os.Exit(1)
+	}
+}
+
+func names() string {
+	ns := make([]string, len(experiments))
+	for i, e := range experiments {
+		ns[i] = e.name
+	}
+	return strings.Join(ns, " | ")
+}

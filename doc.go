@@ -1,0 +1,36 @@
+// Package anonshm is a library for computing in the fully-anonymous
+// shared-memory model, reproducing Losa and Gafni, "Understanding
+// Read-Write Wait-Free Coverings in the Fully-Anonymous Shared-Memory
+// Model" (PODC 2024).
+//
+// In this model, N processors with no identifiers — all running the same
+// program — communicate through M multi-writer multi-reader atomic
+// registers, and even the registers are anonymous: every processor is
+// wired to them through a private, arbitrary permutation fixed at start.
+// The model is inspired by biological systems of indistinguishable agents
+// acting on locations in space without a common frame of reference.
+//
+// The package provides:
+//
+//   - Snapshot: a wait-free group solution to the snapshot task using only
+//     N registers (the paper's Figure 3 algorithm) — every participant
+//     learns a set of participating inputs, all sets related by
+//     containment;
+//   - Rename: adaptive renaming into 1..n(n+1)/2 names for n participating
+//     groups (Figure 4, Bar-Noy–Dolev over the group snapshot);
+//   - Agree: obstruction-free consensus on one participating input
+//     (Figure 5, a derandomized Chandra shared coin over the long-lived
+//     snapshot).
+//
+// All three run either on real goroutines over linearizable atomic
+// registers, or under deterministic step-level schedulers for
+// reproducibility and adversarial testing. Verify* helpers check outputs
+// against the group-solvability conditions of the paper's Section 3.
+//
+// The internal packages expose the full research toolkit: the write-scan
+// loop and stable-view analysis of Section 4 (internal/stableview), an
+// exhaustive model checker replacing the paper's TLC usage
+// (internal/explore), the Section 2.1 lower-bound construction
+// (internal/lowerbound), and the baselines the paper argues against
+// (internal/baseline).
+package anonshm

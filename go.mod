@@ -1,0 +1,3 @@
+module anonshm
+
+go 1.23

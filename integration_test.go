@@ -1,0 +1,249 @@
+package anonshm
+
+// Integration tests: cross-module scenarios exercising the public API and
+// the internal packages together, the way a downstream user would.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/consensus"
+	"anonshm/internal/core"
+	"anonshm/internal/lemmas"
+	"anonshm/internal/machine"
+	"anonshm/internal/renaming"
+	"anonshm/internal/sched"
+	"anonshm/internal/tasks"
+	"anonshm/internal/view"
+)
+
+// TestSnapshotThenRenamePipeline chains the tasks the way Section 6 does:
+// renaming is snapshot + rank. The names derived independently from the
+// public Snapshot outputs must be consistent with what Rename produces
+// structurally (valid group renaming in both cases).
+func TestSnapshotThenRenamePipeline(t *testing.T) {
+	inputs := []string{"g1", "g2", "g3", "g2"}
+	sets, err := Snapshot(inputs, Simulated(), WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derive Bar-Noy–Dolev names by hand from the snapshot outputs.
+	names := make([]int, len(sets))
+	for i, set := range sets {
+		sorted := append([]string(nil), set...)
+		sort.Strings(sorted)
+		rank := 0
+		for j, g := range sorted {
+			if g == inputs[i] {
+				rank = j + 1
+			}
+		}
+		if rank == 0 {
+			t.Fatalf("own group missing from snapshot %v", set)
+		}
+		z := len(sorted)
+		names[i] = z*(z-1)/2 + rank
+	}
+	if err := VerifyRenaming(inputs, names); err != nil {
+		t.Errorf("derived names invalid: %v (names=%v sets=%v)", err, names, sets)
+	}
+}
+
+// TestAllTasksShareOneSeedAcrossModes runs all three tasks on the same
+// inputs in both execution modes.
+func TestAllTasksShareOneSeedAcrossModes(t *testing.T) {
+	inputs := []string{"x", "y", "z", "x"}
+	for _, mode := range []string{"sim", "go"} {
+		opts := []Option{WithSeed(5)}
+		if mode == "sim" {
+			opts = append(opts, Simulated())
+		}
+		sets, err := Snapshot(inputs, opts...)
+		if err != nil {
+			t.Fatalf("%s snapshot: %v", mode, err)
+		}
+		if err := VerifySnapshot(inputs, sets); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+		names, err := Rename(inputs, opts...)
+		if err != nil {
+			t.Fatalf("%s rename: %v", mode, err)
+		}
+		if err := VerifyRenaming(inputs, names); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+		decision, err := Agree(inputs, opts...)
+		if err != nil {
+			t.Fatalf("%s agree: %v", mode, err)
+		}
+		if err := VerifyConsensus(inputs, decision); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+}
+
+// TestMixedAlgorithmsShareMemoryModel runs snapshot machines and the
+// lemma monitor together under an adversarial scheduler with extreme
+// group skew.
+func TestMixedAlgorithmsShareMemoryModel(t *testing.T) {
+	inputs := []string{"g", "g", "g", "g", "h"}
+	n := len(inputs)
+	sys, in, err := core.NewSnapshotSystem(core.Config{
+		Inputs:  inputs,
+		Wirings: anonmem.RotationWirings(n, n),
+		Nondet:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &lemmas.Lemma53Monitor{}
+	res, err := sched.Run(sys, &sched.Coverer{}, 10_000_000, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != sched.StopAllDone {
+		t.Fatal("did not terminate")
+	}
+	if len(mon.Violations) > 0 {
+		t.Fatalf("lemma violations: %v", mon.Violations)
+	}
+	outs, ok := core.SnapshotOutputs(sys)
+	snapOuts := make([]tasks.SnapshotOutput, n)
+	for i := range outs {
+		snapOuts[i] = tasks.SnapshotOutput{Set: outs[i], Done: ok[i]}
+	}
+	if err := tasks.CheckGroupSnapshotBrute(tasks.Execution{Groups: inputs}, in, snapOuts); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLongLivedSnapshotStress re-invokes the long-lived snapshot many
+// times with interleaved schedules and checks global containment across
+// every output of every invocation.
+func TestLongLivedSnapshotStress(t *testing.T) {
+	const n = 3
+	const rounds = 6
+	sys, in, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a0", "b0", "c0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var all []view.View
+	for r := 0; r < rounds; r++ {
+		res, err := sched.Run(sys, &sched.Random{Rng: rng}, 10_000_000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != sched.StopAllDone {
+			// The long-lived variant is non-blocking; simultaneous
+			// re-invocation behaves like a fresh wait-free run, so this
+			// must complete.
+			t.Fatalf("round %d did not complete", r)
+		}
+		outs, ok := core.SnapshotOutputs(sys)
+		for p := range outs {
+			if !ok[p] {
+				t.Fatalf("round %d: p%d unfinished", r, p)
+			}
+			all = append(all, outs[p])
+		}
+		if r < rounds-1 {
+			for p, m := range sys.Procs {
+				m.(*core.Snapshot).Invoke(in.Intern(fmt.Sprintf("%c%d", 'a'+p, r+1)))
+			}
+		}
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if !all[i].ComparableWith(all[j]) {
+				t.Fatalf("outputs %d and %d incomparable across invocations: %s vs %s",
+					i, j, all[i].Format(in), all[j].Format(in))
+			}
+		}
+	}
+	// Each processor's final output contains all its inputs ever used.
+	for p, m := range sys.Procs {
+		final := m.(*core.Snapshot).SnapshotView()
+		for r := 0; r < rounds; r++ {
+			id, okL := in.Lookup(fmt.Sprintf("%c%d", 'a'+p, r))
+			if !okL {
+				t.Fatalf("label %c%d not interned", 'a'+p, r)
+			}
+			if !final.Contains(id) {
+				t.Errorf("p%d final output misses its round-%d input", p, r)
+			}
+		}
+	}
+}
+
+// TestConsensusBuiltOnLongLived cross-checks that consensus never touches
+// registers directly: every write observed in a consensus run must carry
+// a Cell (the snapshot substrate's word), never a raw decision.
+func TestConsensusBuiltOnLongLived(t *testing.T) {
+	sys, _, err := consensus.NewSystem(consensus.Config{Inputs: []string{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sched.ObserverFunc(func(_ int, info machine.StepInfo, _ *machine.System) {
+		if info.Op.Kind == machine.OpWrite {
+			if _, ok := info.Op.Word.(core.Cell); !ok {
+				t.Errorf("consensus wrote a %T directly", info.Op.Word)
+			}
+		}
+	})
+	q := &sched.Seq{Phases: []sched.Phase{
+		{S: &sched.RoundRobin{}, Steps: 200},
+		{S: sched.NewSolo(2), Steps: -1},
+	}}
+	if _, err := sched.Run(sys, q, 1_000_000, obs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRenamingMatchesSnapshotRank verifies the Figure 4 machines' names
+// against independent NameFor computation from their final snapshots.
+func TestRenamingMatchesSnapshotRank(t *testing.T) {
+	inputs := []string{"u", "v", "w", "u"}
+	sys, in, err := renaming.NewSystem(renaming.Config{
+		Inputs:  inputs,
+		Wirings: anonmem.RotationWirings(4, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Run(sys, sched.NewRandom(8), 10_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	for p, m := range sys.Procs {
+		r := m.(*renaming.Renaming)
+		id, _ := in.Lookup(inputs[p])
+		want, err := renaming.NameFor(r.Snapshot(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Name() != want {
+			t.Errorf("p%d name %d != NameFor %d", p, r.Name(), want)
+		}
+	}
+}
+
+// TestScaleN32 pushes the public API to N=32 (half the register cap).
+func TestScaleN32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	inputs := make([]string, 32)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("grp%d", i%8)
+	}
+	sets, err := Snapshot(inputs, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshot(inputs, sets); err != nil {
+		t.Error(err)
+	}
+}

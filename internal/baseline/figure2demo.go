@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"fmt"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/stableview"
+	"anonshm/internal/view"
+)
+
+// Figure2DoubleCollectDemo reproduces the Section 4 argument against the
+// double-collect termination rule: the three Figure 2 churners run the
+// write-scan loop while two shadow processors run the double-collect
+// baseline. The shadows complete two identical collects — reading {1,2}
+// (respectively {1,3}) in every register, twice — and terminate with
+// incomparable outputs, violating the snapshot task.
+//
+// It returns the two shadow outputs in order (p, p'). maxCycles bounds how
+// many times the Figure 2 cycle is replayed.
+func Figure2DoubleCollectDemo(maxCycles int) ([]view.View, *view.Interner, error) {
+	in := view.NewInterner()
+	id1 := in.Intern("1")
+	id2 := in.Intern("2")
+	id3 := in.Intern("3")
+
+	// Processors 0-2: the churners (write-scan); processors 3-4: the
+	// double-collect shadows, wired like p1 so their scan order is
+	// r2, r3, r1.
+	wirings := [][]int{{1, 2, 0}, {0, 1, 2}, {0, 1, 2}, {1, 2, 0}, {1, 2, 0}}
+	procs := []machine.Machine{
+		core.NewWriteScan(3, id1, false),
+		core.NewWriteScan(3, id2, false),
+		core.NewWriteScan(3, id3, false),
+		NewDoubleCollect(3, in.Intern("1")),
+		NewDoubleCollect(3, in.Intern("1")),
+	}
+	mem, err := anonmem.New(3, core.EmptyCell, wirings)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := machine.NewSystem(mem, procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	hook := stableview.ShadowHook([]stableview.ShadowSpec{
+		{Proc: 3, Allowed: view.Of(id1, id2)},
+		{Proc: 4, Allowed: view.Of(id1, id3)},
+	})
+
+	run := func(script []sched.Step) error {
+		for _, st := range script {
+			if _, err := sys.Step(st.Proc, st.Choice); err != nil {
+				return err
+			}
+			if _, err := hook(sys); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(stableview.Figure2Prefix()); err != nil {
+		return nil, nil, err
+	}
+	cycle := stableview.Figure2Cycle()
+	for c := 0; c < maxCycles; c++ {
+		if sys.Procs[3].Done() && sys.Procs[4].Done() {
+			break
+		}
+		if err := run(cycle); err != nil {
+			return nil, nil, err
+		}
+	}
+	if !sys.Procs[3].Done() || !sys.Procs[4].Done() {
+		return nil, nil, fmt.Errorf("baseline: shadows did not terminate within %d cycles", maxCycles)
+	}
+	outs := make([]view.View, 2)
+	for i, p := range []int{3, 4} {
+		cell, ok := sys.Procs[p].Output().(core.Cell)
+		if !ok {
+			return nil, nil, fmt.Errorf("baseline: shadow %d output %T", p, sys.Procs[p].Output())
+		}
+		outs[i] = cell.View
+	}
+	return outs, in, nil
+}

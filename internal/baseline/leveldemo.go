@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"fmt"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/stableview"
+	"anonshm/internal/view"
+)
+
+// LevelDemoResult reports a Figure2LevelDemo run.
+type LevelDemoResult struct {
+	// Terminated reports whether both shadows output a snapshot.
+	Terminated bool
+	// Outputs holds the shadow outputs (p, p') when Terminated.
+	Outputs []view.View
+	// Comparable reports whether the outputs are containment-related
+	// (false = snapshot task violated).
+	Comparable bool
+	// MaxLevel is the highest level either shadow reached.
+	MaxLevel int
+	Interner *view.Interner
+}
+
+// Figure2LevelDemo runs the Figure 2 churn with two shadow processors
+// executing the LEVEL rule of the Figure 3 snapshot algorithm at the given
+// termination threshold. It isolates exactly what the level mechanism
+// buys:
+//
+//   - at threshold 1, the shadows terminate with the incomparable outputs
+//     {1,2} and {1,3} — one clean scan is as weak as a double collect;
+//   - at any threshold ≥ 2, the shadows NEVER terminate under this attack:
+//     their level is capped at 1, because every scan reads cells written
+//     at level 0 by the churners (which never complete a clean scan), and
+//     the level rule sets level = 1 + MINIMUM level read. Chains of
+//     support must ground out — the inductive heart of the Section 5.3
+//     proof.
+func Figure2LevelDemo(threshold, maxCycles int) (LevelDemoResult, error) {
+	in := view.NewInterner()
+	id1 := in.Intern("1")
+	id2 := in.Intern("2")
+	id3 := in.Intern("3")
+
+	wirings := [][]int{{1, 2, 0}, {0, 1, 2}, {0, 1, 2}, {1, 2, 0}, {1, 2, 0}}
+	shadowA := core.NewSnapshotAtLevel(threshold, 3, in.Intern("1"), false)
+	shadowB := core.NewSnapshotAtLevel(threshold, 3, in.Intern("1"), false)
+	procs := []machine.Machine{
+		core.NewWriteScan(3, id1, false),
+		core.NewWriteScan(3, id2, false),
+		core.NewWriteScan(3, id3, false),
+		shadowA,
+		shadowB,
+	}
+	mem, err := anonmem.New(3, core.EmptyCell, wirings)
+	if err != nil {
+		return LevelDemoResult{}, err
+	}
+	sys, err := machine.NewSystem(mem, procs)
+	if err != nil {
+		return LevelDemoResult{}, err
+	}
+	hook := stableview.ShadowHook([]stableview.ShadowSpec{
+		{Proc: 3, Allowed: view.Of(id1, id2)},
+		{Proc: 4, Allowed: view.Of(id1, id3)},
+	})
+	res := LevelDemoResult{Interner: in}
+	run := func(script []sched.Step) error {
+		for _, st := range script {
+			if _, err := sys.Step(st.Proc, st.Choice); err != nil {
+				return err
+			}
+			if _, err := hook(sys); err != nil {
+				return err
+			}
+			for _, sh := range []*core.Snapshot{shadowA, shadowB} {
+				if sh.Level() > res.MaxLevel {
+					res.MaxLevel = sh.Level()
+				}
+			}
+		}
+		return nil
+	}
+	if err := run(stableview.Figure2Prefix()); err != nil {
+		return res, err
+	}
+	cycle := stableview.Figure2Cycle()
+	for c := 0; c < maxCycles; c++ {
+		if shadowA.Done() && shadowB.Done() {
+			break
+		}
+		if err := run(cycle); err != nil {
+			return res, err
+		}
+	}
+	if !shadowA.Done() || !shadowB.Done() {
+		return res, nil // not terminated: the level rule resisted the attack
+	}
+	res.Terminated = true
+	for _, sh := range []*core.Snapshot{shadowA, shadowB} {
+		cell, ok := sh.Output().(core.Cell)
+		if !ok {
+			return res, fmt.Errorf("baseline: shadow output %T", sh.Output())
+		}
+		res.Outputs = append(res.Outputs, cell.View)
+	}
+	res.Comparable = res.Outputs[0].ComparableWith(res.Outputs[1])
+	return res, nil
+}

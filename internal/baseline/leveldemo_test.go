@@ -1,0 +1,39 @@
+package baseline
+
+import "testing"
+
+func TestLevelThreshold1Breaks(t *testing.T) {
+	res, err := Figure2LevelDemo(1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatal("threshold-1 shadows did not terminate under the attack")
+	}
+	if res.Comparable {
+		t.Fatalf("threshold-1 outputs comparable: %s vs %s",
+			res.Outputs[0].Format(res.Interner), res.Outputs[1].Format(res.Interner))
+	}
+	if a := res.Outputs[0].Format(res.Interner); a != "{1,2}" {
+		t.Errorf("shadow p output = %s", a)
+	}
+	if b := res.Outputs[1].Format(res.Interner); b != "{1,3}" {
+		t.Errorf("shadow p' output = %s", b)
+	}
+}
+
+func TestLevelThreshold2Resists(t *testing.T) {
+	for _, threshold := range []int{2, 3, 5} {
+		res, err := Figure2LevelDemo(threshold, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Terminated {
+			t.Errorf("threshold-%d shadows terminated: %v", threshold, res.Outputs)
+		}
+		if res.MaxLevel > 1 {
+			t.Errorf("threshold-%d: shadow level reached %d > 1 — level should be capped by the churners' level-0 cells",
+				threshold, res.MaxLevel)
+		}
+	}
+}

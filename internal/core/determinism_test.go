@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/machine"
+)
+
+// This file checks the machine-level invariants the explorer depends on:
+// determinism (same steps ⇒ same state keys), clone independence at
+// arbitrary points, and stability of Pending across repeated calls.
+
+func randomSystem(t *testing.T, rng *rand.Rand, algo string) *machine.System {
+	t.Helper()
+	n := 1 + rng.Intn(4)
+	m := 1 + rng.Intn(4)
+	inputs := make([]string, n)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("v%d", rng.Intn(3))
+	}
+	cfg := Config{
+		Inputs:    inputs,
+		Registers: m,
+		Wirings:   anonmem.RandomWirings(rng, n, m),
+		Nondet:    rng.Intn(2) == 0,
+	}
+	var sys *machine.System
+	var err error
+	if algo == "snapshot" {
+		sys, _, err = NewSnapshotSystem(cfg)
+	} else {
+		sys, _, err = NewWriteScanSystem(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// step performs one random enabled step, returning false if none applies.
+func randomStep(rng *rand.Rand, sys *machine.System) bool {
+	var enabled []int
+	for p := 0; p < sys.N(); p++ {
+		if sys.Enabled(p) {
+			enabled = append(enabled, p)
+		}
+	}
+	if len(enabled) == 0 {
+		return false
+	}
+	p := enabled[rng.Intn(len(enabled))]
+	c := rng.Intn(len(sys.Procs[p].Pending()))
+	if _, err := sys.Step(p, c); err != nil {
+		panic(err)
+	}
+	return true
+}
+
+func TestPropSameStepsSameKeys(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, algo := range []string{"snapshot", "writescan"} {
+			rngA := rand.New(rand.NewSource(seed))
+			a := randomSystem(t, rngA, algo)
+			b := a.Clone()
+			// Drive both systems with identical random choices.
+			drive := rand.New(rand.NewSource(seed + 1))
+			driveB := rand.New(rand.NewSource(seed + 1))
+			for i := 0; i < 150; i++ {
+				tookA := randomStep(drive, a)
+				tookB := randomStep(driveB, b)
+				if tookA != tookB || a.Key() != b.Key() {
+					return false
+				}
+				if !tookA {
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCloneAtAnyPointIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomSystem(t, rng, "snapshot")
+		for i := 0; i < 60; i++ {
+			if !randomStep(rng, sys) {
+				break
+			}
+			cp := sys.Clone()
+			key := sys.Key()
+			if cp.Key() != key {
+				return false // clone differs immediately
+			}
+			// Stepping the clone must not disturb the original.
+			if randomStep(rng, cp) && sys.Key() != key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPendingIsStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomSystem(t, rng, "snapshot")
+		for i := 0; i < 80; i++ {
+			for p := 0; p < sys.N(); p++ {
+				if !sys.Enabled(p) {
+					continue
+				}
+				a := fmt.Sprint(sys.Procs[p].Pending())
+				b := fmt.Sprint(sys.Procs[p].Pending())
+				if a != b {
+					return false // Pending must be side-effect free
+				}
+			}
+			if !randomStep(rng, sys) {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotTerminatesFromEveryCloneState resumes cloned mid-run systems
+// under a fair scheduler: wait-freedom must hold from any reachable state.
+func TestSnapshotTerminatesFromEveryCloneState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sys := randomSystem(t, rng, "snapshot")
+	for i := 0; i < 40; i++ {
+		if !randomStep(rng, sys) {
+			break
+		}
+		cp := sys.Clone()
+		steps := 0
+		for !cp.AllDone() {
+			if steps > 3_000_000 {
+				t.Fatalf("resumed clone at step %d did not terminate", i)
+			}
+			p := steps % cp.N()
+			if cp.Enabled(p) {
+				if _, err := cp.Step(p, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			steps++
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/view"
+)
+
+func TestWriteScanNeverTerminates(t *testing.T) {
+	sys, _, err := NewWriteScanSystem(Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Run(sys, &sched.RoundRobin{}, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != sched.StopMaxSteps {
+		t.Fatalf("write-scan stopped: %+v", res)
+	}
+	for p, m := range sys.Procs {
+		if m.Done() || m.Output() != nil {
+			t.Errorf("p%d terminated", p)
+		}
+	}
+}
+
+func TestWriteScanViewMonotoneAndValid(t *testing.T) {
+	inputs := []string{"a", "b", "c"}
+	sys, in, err := NewWriteScanSystem(Config{
+		Inputs:  inputs,
+		Wirings: anonmem.RotationWirings(3, 3),
+		Nondet:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := view.Empty()
+	for _, l := range inputs {
+		id, _ := in.Lookup(l)
+		all = all.With(id)
+	}
+	prev := make([]view.View, 3)
+	obs := sched.ObserverFunc(func(_ int, _ machine.StepInfo, sys *machine.System) {
+		for p, m := range sys.Procs {
+			v := m.(Viewer).View()
+			if !prev[p].SubsetOf(v) {
+				t.Errorf("p%d view shrank", p)
+			}
+			if !v.SubsetOf(all) {
+				t.Errorf("p%d view %v outside inputs", p, v)
+			}
+			id, _ := in.Lookup(inputs[p])
+			if !v.Contains(id) {
+				t.Errorf("p%d view lost own input", p)
+			}
+			prev[p] = v
+		}
+	})
+	r := &sched.Random{Rng: rand.New(rand.NewSource(3)), ChoiceRandom: true}
+	if _, err := sched.Run(sys, r, 2000, obs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteScanSoloViewNeverGrows(t *testing.T) {
+	// A processor running alone only ever reads its own writes and empty
+	// registers, so its view stays {input}.
+	ws := NewWriteScan(3, 7, false)
+	mem, err := anonmem.New(3, EmptyCell, anonmem.IdentityWirings(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := machine.NewSystem(mem, []machine.Machine{ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := sys.Step(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ws.View().Equal(view.Of(7)) {
+		t.Errorf("solo view = %v", ws.View())
+	}
+	if ws.Scans() == 0 {
+		t.Error("no scans completed")
+	}
+}
+
+func TestWriteScanFairWriteOrder(t *testing.T) {
+	// The deterministic machine must write every register once before
+	// writing any register twice.
+	ws := NewWriteScan(3, 0, false)
+	mem, err := anonmem.New(3, EmptyCell, anonmem.IdentityWirings(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := machine.NewSystem(mem, []machine.Machine{ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes []int
+	for len(writes) < 9 {
+		info, err := sys.Step(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Op.Kind == machine.OpWrite {
+			writes = append(writes, info.Op.Reg)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		seen := map[int]bool{}
+		for _, r := range writes[round*3 : round*3+3] {
+			if seen[r] {
+				t.Fatalf("register %d written twice in round %d: %v", r, round, writes)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestWriteScanNondetChoicesShrink(t *testing.T) {
+	ws := NewWriteScan(3, 0, true)
+	if got := len(ws.Pending()); got != 3 {
+		t.Fatalf("fresh choices = %d, want 3", got)
+	}
+	// Take choice 1 (middle register), then the next write phase must
+	// offer the remaining two.
+	ws.Advance(1, nil)
+	for ws.Pending()[0].Kind == machine.OpRead { // drain the scan
+		ws.Advance(0, EmptyCell)
+	}
+	ops := ws.Pending()
+	if len(ops) != 2 {
+		t.Fatalf("second-round choices = %d, want 2", len(ops))
+	}
+	regs := map[int]bool{ops[0].Reg: true, ops[1].Reg: true}
+	if !regs[0] || !regs[2] {
+		t.Errorf("remaining choices = %v, want registers 0 and 2", ops)
+	}
+}
+
+func TestWriteScanInvalidChoicePanics(t *testing.T) {
+	ws := NewWriteScan(2, 0, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range write choice did not panic")
+		}
+	}()
+	ws.Advance(5, nil)
+}
+
+func TestWriteScanBadRegisterCountPanics(t *testing.T) {
+	for _, m := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("m=%d did not panic", m)
+				}
+			}()
+			NewWriteScan(m, 0, false)
+		}()
+	}
+}
+
+func TestWriteScanStateKeyDistinguishesPhases(t *testing.T) {
+	a := NewWriteScan(2, 0, false)
+	b := NewWriteScan(2, 0, false)
+	if a.StateKey() != b.StateKey() {
+		t.Error("fresh machines differ")
+	}
+	a.Advance(0, nil) // move to scan phase
+	if a.StateKey() == b.StateKey() {
+		t.Error("phase change not reflected in key")
+	}
+	a.Advance(0, Cell{View: view.Of(1)})
+	keyMid := a.StateKey()
+	a.Advance(0, Cell{View: view.Of(2)}) // completes scan, back to write
+	if a.StateKey() == keyMid {
+		t.Error("scan progress not reflected in key")
+	}
+	if a.Scans() != 1 {
+		t.Errorf("scans = %d", a.Scans())
+	}
+	if !a.View().Equal(view.Of(0, 1, 2)) {
+		t.Errorf("view = %v", a.View())
+	}
+}
+
+func TestWriteScanCellKey(t *testing.T) {
+	c1 := Cell{View: view.Of(1), Level: 2}
+	c2 := Cell{View: view.Of(1), Level: 3}
+	c3 := Cell{View: view.Of(2), Level: 2}
+	keys := map[string]bool{c1.Key(): true, c2.Key(): true, c3.Key(): true, EmptyCell.Key(): true}
+	if len(keys) != 4 {
+		t.Errorf("cell keys collide: %v", keys)
+	}
+}
+
+func TestWriteScanOneRegisterCovering(t *testing.T) {
+	// With a single shared register and round-robin steps, p1 always
+	// overwrites p0's value before reading — the covering phenomenon the
+	// paper centers on — so p1 never learns x. The two stable views {y}
+	// and {x,y} still form a single-source chain (Theorem 4.8).
+	inputs := []string{"x", "y"}
+	sys, in, err := NewWriteScanSystem(Config{Inputs: inputs, Registers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Run(sys, &sched.RoundRobin{}, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := in.Lookup("x")
+	y, _ := in.Lookup("y")
+	v0 := sys.Procs[0].(Viewer).View()
+	v1 := sys.Procs[1].(Viewer).View()
+	if !v0.Equal(view.Of(x, y)) {
+		t.Errorf("p0 view = %s, want {x,y}", v0.Format(in))
+	}
+	if !v1.Equal(view.Of(y)) {
+		t.Errorf("p1 view = %s, want {y}: covering should hide x forever", v1.Format(in))
+	}
+	if !v0.ComparableWith(v1) {
+		t.Error("stable views incomparable — two sources, contradicting Theorem 4.8")
+	}
+}
+
+func TestWriteScanScansCount(t *testing.T) {
+	sys, _, err := NewWriteScanSystem(Config{Inputs: []string{"a"}, Registers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 iterations of (1 write + 2 reads) = 30 steps.
+	if _, err := sched.Run(sys, &sched.RoundRobin{}, 30, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Procs[0].(*WriteScan).Scans(); got != 10 {
+		t.Errorf("scans = %d, want 10", got)
+	}
+}
+
+func ExampleNewWriteScan() {
+	ws := NewWriteScan(2, 0, false)
+	fmt.Println(ws.Pending()[0].Kind, ws.View())
+	// Output: write {0}
+}

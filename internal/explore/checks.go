@@ -1,0 +1,400 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"anonshm/internal/consensus"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/view"
+)
+
+// This file packages the paper's model-checking claims as ready-made
+// exhaustive checks:
+//
+//   - E3: the Figure 3 algorithm solves the snapshot task — every pair of
+//     outputs is related by containment, outputs contain the writer's own
+//     input and only participating inputs (Section 5.3.2's strong form);
+//   - E4: the algorithm is wait-free — the reachable step graph is acyclic
+//     (Section 5.3.3);
+//   - E5: the algorithm is NOT an atomic memory snapshot — some execution
+//     produces an output that the memory never held exactly (Section 8);
+//   - E7: consensus agreement and validity over a timestamp-bounded state
+//     space.
+
+// SnapshotInvariant checks, at any state, that the outputs already emitted
+// by terminated machines are valid snapshots: self-inclusive, within the
+// participating inputs, and pairwise related by containment.
+func SnapshotInvariant(inputs []view.ID) func(Node) error {
+	all := view.Empty()
+	for _, id := range inputs {
+		all = all.With(id)
+	}
+	return func(n Node) error {
+		outs, ok := core.SnapshotOutputs(n.Sys)
+		for p := range outs {
+			if !ok[p] {
+				continue
+			}
+			if !outs[p].Contains(inputs[p]) {
+				return fmt.Errorf("output of p%d misses own input: %v", p, outs[p])
+			}
+			if !outs[p].SubsetOf(all) {
+				return fmt.Errorf("output of p%d exceeds participating inputs: %v", p, outs[p])
+			}
+			for q := 0; q < p; q++ {
+				if ok[q] && !outs[p].ComparableWith(outs[q]) {
+					return fmt.Errorf("outputs of p%d (%v) and p%d (%v) incomparable", p, outs[p], q, outs[q])
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// SweepResult aggregates exploration over many wirings.
+type SweepResult struct {
+	Wirings     int
+	TotalStates int
+	TotalEdges  int
+	MaxStates   int // largest single-wiring state count
+	Terminals   int
+	Truncated   bool
+}
+
+// SnapshotConfig describes one exhaustive snapshot check.
+type SnapshotConfig struct {
+	Inputs []string
+	// Nondet explores the algorithm's internal register choices too.
+	Nondet bool
+	// Canonical fixes processor 0's wiring to the identity (sound symmetry
+	// reduction; see ForAllWirings).
+	Canonical bool
+	// Level overrides the termination level (0 = N), for the ablation.
+	Level     int
+	MaxStates int
+	// Traces keeps counterexample traces (memory-heavy on large runs).
+	Traces bool
+}
+
+func (c SnapshotConfig) system(perms [][]int) (*machine.System, []view.ID, error) {
+	sys, in, err := core.NewSnapshotSystem(core.Config{
+		Inputs:  c.Inputs,
+		Wirings: perms,
+		Nondet:  c.Nondet,
+		Level:   c.Level,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]view.ID, len(c.Inputs))
+	for i, label := range c.Inputs {
+		id, ok := in.Lookup(label)
+		if !ok {
+			return nil, nil, fmt.Errorf("explore: input %q not interned", label)
+		}
+		ids[i] = id
+	}
+	return sys, ids, nil
+}
+
+// CheckSnapshotSafety exhaustively verifies the snapshot-task outputs over
+// every wiring assignment. It returns the first violation as an
+// *InvariantError.
+func CheckSnapshotSafety(c SnapshotConfig) (SweepResult, error) {
+	var sweep SweepResult
+	n := len(c.Inputs)
+	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
+		sys, ids, err := c.system(perms)
+		if err != nil {
+			return err
+		}
+		res, err := DFS(sys, Options{
+			MaxStates: c.MaxStates,
+			Invariant: SnapshotInvariant(ids),
+			Traces:    c.Traces,
+		})
+		sweep.accumulate(res)
+		return err
+	})
+	return sweep, err
+}
+
+// CheckSnapshotWaitFree exhaustively verifies wait-freedom over every
+// wiring assignment: the reachable step graph must be acyclic and free of
+// deadlocks.
+func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
+	var sweep SweepResult
+	n := len(c.Inputs)
+	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
+		sys, _, err := c.system(perms)
+		if err != nil {
+			return err
+		}
+		res, err := DFS(sys, Options{MaxStates: c.MaxStates, Traces: c.Traces})
+		sweep.accumulate(res)
+		if err != nil {
+			return err
+		}
+		if res.Truncated {
+			return fmt.Errorf("explore: truncated at %d states; wait-freedom not established", res.States)
+		}
+		if res.Cycle {
+			return fmt.Errorf("explore: wait-freedom violated under wiring %v: %s", perms, FormatTrace(res.CycleTrace))
+		}
+		return nil
+	})
+	return sweep, err
+}
+
+func registersFor(c SnapshotConfig) int {
+	return len(c.Inputs) // the paper's algorithms use N registers
+}
+
+func (s *SweepResult) accumulate(res Result) {
+	s.Wirings++
+	s.TotalStates += res.States
+	s.TotalEdges += res.Edges
+	s.Terminals += res.Terminals
+	if res.States > s.MaxStates {
+		s.MaxStates = res.States
+	}
+	if res.Truncated {
+		s.Truncated = true
+	}
+}
+
+// memoryUnion returns the union of all register views.
+func memoryUnion(sys *machine.System) view.View {
+	u := view.Empty()
+	for _, w := range sys.Mem.Cells() {
+		if cell, ok := w.(core.Cell); ok {
+			u = u.Union(cell.View)
+		}
+	}
+	return u
+}
+
+// Witness describes a non-atomicity witness execution (E5).
+type Witness struct {
+	// Output is the snapshot output that the memory never held exactly.
+	Output view.View
+	// Proc is the processor that produced it.
+	Proc int
+	// Wirings is the wiring assignment of the witness system.
+	Wirings [][]int
+	// Trace is the step sequence from the initial state.
+	Trace []machine.StepInfo
+}
+
+// errWitness signals a found witness through the invariant mechanism.
+type errWitness struct {
+	output view.View
+	proc   int
+}
+
+func (e errWitness) Error() string {
+	return fmt.Sprintf("p%d output %v never held by memory", e.proc, e.output)
+}
+
+// WitnessResult reports a non-atomicity witness search.
+type WitnessResult struct {
+	Witness Witness
+	Found   bool
+	// Exhaustive is true when every wiring and candidate was fully
+	// explored, so Found=false proves the algorithm IS atomic for this
+	// configuration (modulo fingerprint collisions).
+	Exhaustive bool
+}
+
+// FindNonAtomicityWitnessIn searches one wiring assignment for an
+// execution in which some processor outputs a snapshot that the memory
+// (the union of all register views) never contained exactly, at any
+// instant — TLC's evidence that the Figure 3 algorithm does not implement
+// atomic memory snapshots. Candidates are tried one at a time, each with a
+// single auxiliary bit tracking "the memory union has equaled the
+// candidate", to keep the augmented state space small.
+func FindNonAtomicityWitnessIn(c SnapshotConfig, perms [][]int) (WitnessResult, error) {
+	sys, ids, err := c.system(perms)
+	if err != nil {
+		return WitnessResult{}, err
+	}
+	result := WitnessResult{Exhaustive: true}
+	for _, cand := range subsetsOf(ids) {
+		cand := cand
+		aux := func(aux uint64, _ machine.StepInfo, sys *machine.System) uint64 {
+			if aux == 0 && memoryUnion(sys).Equal(cand) {
+				return 1
+			}
+			return aux
+		}
+		invariant := func(node Node) error {
+			if node.Aux != 0 {
+				return nil
+			}
+			outs, ok := core.SnapshotOutputs(node.Sys)
+			for p := range outs {
+				if ok[p] && outs[p].Equal(cand) {
+					return errWitness{output: outs[p], proc: p}
+				}
+			}
+			return nil
+		}
+		// Two sound prunes make the targeted search tractable:
+		//  - once the memory union has equaled the candidate (aux=1), no
+		//    extension of the execution can be a witness for it;
+		//  - views only grow, and an output equals the machine's final
+		//    view, so a witness needs some live machine whose view is
+		//    still a subset of the candidate.
+		prune := func(node Node) bool {
+			if node.Aux != 0 {
+				return true
+			}
+			for _, m := range node.Sys.Procs {
+				if m.Done() {
+					continue
+				}
+				if v, ok := m.(core.Viewer); ok && v.View().SubsetOf(cand) {
+					return false
+				}
+			}
+			return true
+		}
+		res, err := DFS(sys.Clone(), Options{
+			MaxStates: c.MaxStates,
+			Aux:       aux,
+			Invariant: invariant,
+			Prune:     prune,
+			Traces:    c.Traces,
+		})
+		if err != nil {
+			var ie *InvariantError
+			if errors.As(err, &ie) {
+				if ew, ok := ie.Err.(errWitness); ok {
+					result.Witness = Witness{Output: ew.output, Proc: ew.proc, Wirings: perms, Trace: ie.Trace}
+					result.Found = true
+					return result, nil
+				}
+			}
+			return result, err
+		}
+		if res.Truncated {
+			result.Exhaustive = false
+		}
+	}
+	return result, nil
+}
+
+// FindNonAtomicityWitness sweeps every wiring assignment with
+// FindNonAtomicityWitnessIn and returns the first witness. If none is
+// found and no search was truncated, the result proves atomicity for the
+// configuration.
+func FindNonAtomicityWitness(c SnapshotConfig) (WitnessResult, error) {
+	n := len(c.Inputs)
+	result := WitnessResult{Exhaustive: true}
+	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
+		if result.Found {
+			return nil
+		}
+		r, err := FindNonAtomicityWitnessIn(c, perms)
+		if err != nil {
+			return err
+		}
+		if r.Found {
+			result.Witness = r.Witness
+			result.Found = true
+		}
+		if !r.Exhaustive {
+			result.Exhaustive = false
+		}
+		return nil
+	})
+	return result, err
+}
+
+func subsetsOf(ids []view.ID) []view.View {
+	uniq := view.Empty()
+	for _, id := range ids {
+		uniq = uniq.With(id)
+	}
+	distinct := uniq.IDs()
+	var out []view.View
+	for mask := 1; mask < 1<<uint(len(distinct)); mask++ {
+		v := view.Empty()
+		for i, id := range distinct {
+			if mask&(1<<uint(i)) != 0 {
+				v = v.With(id)
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ConsensusConfig describes a timestamp-bounded consensus exploration.
+type ConsensusConfig struct {
+	Inputs []string
+	// MaxTimestamp bounds exploration: states where any processor's
+	// timestamp exceeds it are kept but not expanded.
+	MaxTimestamp int
+	Canonical    bool
+	MaxStates    int
+}
+
+// CheckConsensusBounded explores the Figure 5 consensus algorithm up to a
+// timestamp bound over every wiring, verifying agreement and validity on
+// every reachable state. The bound makes this a bounded (not complete)
+// verification; Result.Pruned counts cut states.
+func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
+	var sweep SweepResult
+	n := len(c.Inputs)
+	valid := make(map[string]bool, n)
+	for _, v := range c.Inputs {
+		valid[v] = true
+	}
+	err := ForAllWirings(n, n, c.Canonical, func(perms [][]int) error {
+		sys, in, err := consensus.NewSystem(consensus.Config{Inputs: c.Inputs, Wirings: perms})
+		if err != nil {
+			return err
+		}
+		// Deterministic IDs across branches: pre-intern all pairs up to
+		// one past the bound (a machine at the bound can still write
+		// bound+1 before being pruned).
+		consensus.PreinternPairs(in, c.Inputs, c.MaxTimestamp+2)
+		invariant := func(node Node) error {
+			vals, done := consensus.Decisions(node.Sys)
+			decided := ""
+			for p := range vals {
+				if !done[p] {
+					continue
+				}
+				if !valid[vals[p]] {
+					return fmt.Errorf("p%d decided non-input %q", p, vals[p])
+				}
+				if decided == "" {
+					decided = vals[p]
+				} else if vals[p] != decided {
+					return fmt.Errorf("agreement violated: %q vs %q", decided, vals[p])
+				}
+			}
+			return nil
+		}
+		prune := func(node Node) bool {
+			for _, m := range node.Sys.Procs {
+				if cm, ok := m.(*consensus.Consensus); ok && cm.Timestamp() > c.MaxTimestamp {
+					return true
+				}
+			}
+			return false
+		}
+		res, err := DFS(sys, Options{
+			MaxStates: c.MaxStates,
+			Invariant: invariant,
+			Prune:     prune,
+		})
+		sweep.accumulate(res)
+		return err
+	})
+	return sweep, err
+}

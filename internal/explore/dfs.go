@@ -1,0 +1,155 @@
+package explore
+
+import (
+	"fmt"
+
+	"anonshm/internal/machine"
+)
+
+// DFS explores every reachable state of init depth-first. Compared to BFS
+// it keeps only the current path's systems alive (the visited set stores
+// 64-bit fingerprints with a color byte), so it scales to the ~10⁸-state
+// spaces of three-processor snapshot systems on a laptop, reaches terminal
+// states early (which witness searches need), and detects cycles inline:
+// a back edge to a state on the current path is an infinite execution, so
+// for terminating algorithms it is exactly a wait-freedom violation.
+//
+// Options.TrackGraph is not supported (DFS does its own cycle detection
+// and sets Result.Cycle); Options.Traces is free — counterexample traces
+// come straight off the DFS stack.
+func DFS(init *machine.System, opts Options) (Result, error) {
+	if opts.TrackGraph {
+		return Result{}, fmt.Errorf("explore: DFS does not support TrackGraph; cycle detection is built in")
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	const (
+		grey  = 1
+		black = 2
+	)
+	color := make(map[uint64]uint8)
+	var res Result
+
+	type frame struct {
+		sys   *machine.System
+		fp    uint64
+		aux   uint64
+		how   machine.StepInfo // step that produced this state
+		p     int              // next processor to try
+		c     int              // next choice of processor p
+		n     int              // len(Pending) of processor p, -1 = unknown
+		depth int
+	}
+
+	stackTrace := func(stack []frame) []machine.StepInfo {
+		if !opts.Traces {
+			return nil
+		}
+		out := make([]machine.StepInfo, 0, len(stack)-1)
+		for _, f := range stack[1:] {
+			out = append(out, f.how)
+		}
+		return out
+	}
+
+	finish := func() Result {
+		res.States = len(color)
+		s := float64(res.States)
+		res.CollisionOdds = s * s / (2.0 * (1 << 63) * 2.0)
+		return res
+	}
+
+	push := func(stack []frame, sys *machine.System, fp, aux uint64, how machine.StepInfo, depth int) ([]frame, error) {
+		color[fp] = grey
+		stack = append(stack, frame{sys: sys, fp: fp, aux: aux, how: how, n: -1, depth: depth})
+		if depth > res.MaxDepth {
+			res.MaxDepth = depth
+		}
+		if sys.AllDone() {
+			res.Terminals++
+		}
+		if opts.Invariant != nil {
+			if err := opts.Invariant(Node{Sys: sys, Aux: aux, Depth: depth}); err != nil {
+				return stack, &InvariantError{Err: err, Trace: stackTrace(stack)}
+			}
+		}
+		if opts.Progress != nil && opts.ProgressEvery > 0 && len(color)%opts.ProgressEvery == 0 {
+			opts.Progress(len(color), res.Edges)
+		}
+		return stack, nil
+	}
+
+	initSys := init.Clone()
+	stack, err := push(nil, initSys, fingerprint(initSys, opts.InitAux), opts.InitAux, machine.StepInfo{}, 0)
+	if err != nil {
+		return finish(), err
+	}
+
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if len(color) > maxStates {
+			res.Truncated = true
+			break
+		}
+		if opts.Prune != nil && f.n == -1 && f.p == 0 && f.c == 0 &&
+			opts.Prune(Node{Sys: f.sys, Aux: f.aux, Depth: f.depth}) {
+			res.Pruned++
+			color[f.fp] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		// Find the next (p, c) successor.
+		for f.p < f.sys.N() {
+			if f.n == -1 {
+				if !f.sys.Enabled(f.p) {
+					f.p++
+					continue
+				}
+				f.n = len(f.sys.Procs[f.p].Pending())
+				f.c = 0
+			}
+			if f.c >= f.n {
+				f.p++
+				f.n = -1
+				continue
+			}
+			break
+		}
+		if f.p >= f.sys.N() {
+			color[f.fp] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		succ := f.sys.Clone()
+		info, err := succ.Step(f.p, f.c)
+		if err != nil {
+			return finish(), fmt.Errorf("explore: %w", err)
+		}
+		f.c++
+		res.Edges++
+		aux := f.aux
+		if opts.Aux != nil {
+			aux = opts.Aux(aux, info, succ)
+		}
+		fp := fingerprint(succ, aux)
+		switch color[fp] {
+		case grey:
+			res.Cycle = true
+			if res.CycleTrace == nil && opts.Traces {
+				res.CycleTrace = append(stackTrace(stack), info)
+			}
+		case black:
+			// already fully explored
+		default:
+			depth := f.depth + 1
+			stack, err = push(stack, succ, fp, aux, info, depth)
+			if err != nil {
+				return finish(), err
+			}
+		}
+	}
+	return finish(), nil
+}

@@ -1,0 +1,412 @@
+// Package explore is an exhaustive state-space explorer for
+// fully-anonymous systems — the repository's stand-in for the TLC model
+// checker the paper uses to validate the Figure 3 algorithm for 3
+// processors.
+//
+// It performs breadth-first search over every interleaving of processor
+// steps (and, when machines expose it, every internal register-choice
+// alternative), deduplicating global states by 64-bit fingerprint exactly
+// as TLC does (the probability of a hash collision masking a state is
+// about states²/2⁶⁵ and is reported in Result.CollisionOdds). On top of
+// the raw search it provides:
+//
+//   - invariant checking, optionally with counterexample traces (safety);
+//   - cycle detection over the reachable step graph, which for these
+//     finite-state systems is exactly wait-freedom: an infinite execution
+//     in a finite state space must revisit a state, and every step is
+//     taken by a non-terminated processor, so the algorithm is wait-free
+//     iff the reachable graph has no cycle (terminated-everyone states are
+//     sinks);
+//   - a 64-bit auxiliary state folded into the fingerprint, used e.g. to
+//     search for the paper's non-atomicity witness (Section 8);
+//   - enumeration of wiring permutations with symmetry reduction
+//     (processor 0's wiring is WLOG the identity: relabeling registers
+//     globally preserves behaviour).
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"anonshm/internal/machine"
+)
+
+// Node is a discovered state plus its auxiliary value.
+type Node struct {
+	Sys   *machine.System
+	Aux   uint64
+	Depth int
+}
+
+// Options configures an exploration.
+type Options struct {
+	// MaxStates bounds the number of distinct states; exceeding it sets
+	// Result.Truncated instead of failing. Zero means DefaultMaxStates.
+	MaxStates int
+	// Invariant, when set, is checked at every discovered state; a non-nil
+	// error aborts the search and is reported as an *InvariantError.
+	Invariant func(n Node) error
+	// Aux, when set, folds step information into a 64-bit auxiliary state
+	// distinguishing otherwise-identical system states (e.g. "has the
+	// memory ever held exactly view X"). The initial aux value is InitAux.
+	Aux     func(aux uint64, info machine.StepInfo, sys *machine.System) uint64
+	InitAux uint64
+	// TrackGraph records the adjacency structure for cycle detection.
+	TrackGraph bool
+	// Traces keeps parent pointers so invariant violations carry a full
+	// counterexample trace. Costs memory on large runs.
+	Traces bool
+	// Prune, when set and returning true for a state, keeps the state but
+	// does not expand its successors. Used to bound inherently infinite
+	// state spaces (e.g. consensus timestamps); pruned states are counted
+	// in Result.Pruned.
+	Prune func(n Node) bool
+	// Progress, when set, is called every ProgressEvery discovered states.
+	Progress      func(states, edges int)
+	ProgressEvery int
+}
+
+// DefaultMaxStates bounds explorations unless overridden.
+const DefaultMaxStates = 10_000_000
+
+// Result summarizes an exploration.
+type Result struct {
+	States    int
+	Edges     int
+	Terminals int // states where every machine has terminated
+	MaxDepth  int
+	Truncated bool
+	Pruned    int // states whose successors were cut by Options.Prune
+	// CollisionOdds estimates the probability that fingerprinting merged
+	// two distinct states: roughly states²/2⁶⁵.
+	CollisionOdds float64
+	// Graph is set when Options.TrackGraph was true (BFS only).
+	Graph *StateGraph
+	// Cycle reports that DFS found a back edge: an execution that
+	// revisits a global state — a wait-freedom violation for terminating
+	// algorithms. CycleTrace (with Options.Traces) reaches the revisited
+	// state.
+	Cycle      bool
+	CycleTrace []machine.StepInfo
+}
+
+// InvariantError carries a (possibly empty) counterexample trace to a
+// violated invariant.
+type InvariantError struct {
+	Err   error
+	Trace []machine.StepInfo
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("invariant violated after %d steps: %v", len(e.Trace), e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *InvariantError) Unwrap() error { return e.Err }
+
+// StateGraph is the reachable step graph.
+type StateGraph struct {
+	adj      [][]int32
+	terminal []bool
+}
+
+// FNV-1a constants, inlined to avoid per-state hasher allocations.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(fp uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		fp ^= uint64(s[i])
+		fp *= fnvPrime64
+	}
+	fp ^= 0xff // separator
+	fp *= fnvPrime64
+	return fp
+}
+
+// fingerprint hashes the register contents, every machine's local state,
+// and the auxiliary value into 64 bits.
+func fingerprint(sys *machine.System, aux uint64) uint64 {
+	fp := uint64(fnvOffset64)
+	for g := 0; g < sys.Mem.M(); g++ {
+		fp = fnvString(fp, sys.Mem.CellAt(g).Key())
+	}
+	for _, m := range sys.Procs {
+		fp = fnvString(fp, m.StateKey())
+	}
+	if aux != 0 {
+		fp ^= (aux + 0x9e3779b97f4a7c15) * 0xff51afd7ed558ccd
+	}
+	return fp
+}
+
+// queueEntry is a frontier state awaiting expansion. Sys is released once
+// the state has been expanded.
+type queueEntry struct {
+	sys   *machine.System
+	aux   uint64
+	depth int32
+}
+
+// BFS explores every reachable state of init.
+func BFS(init *machine.System, opts Options) (Result, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	var res Result
+	seen := make(map[uint64]int32)
+	var queue []queueEntry
+	var parent []int32
+	var how []machine.StepInfo
+	var graph *StateGraph
+	if opts.TrackGraph {
+		graph = &StateGraph{}
+		res.Graph = graph
+	}
+
+	traceTo := func(i int32) []machine.StepInfo {
+		if !opts.Traces {
+			return nil
+		}
+		var rev []machine.StepInfo
+		for i > 0 {
+			rev = append(rev, how[i])
+			i = parent[i]
+		}
+		out := make([]machine.StepInfo, len(rev))
+		for j := range rev {
+			out[j] = rev[len(rev)-1-j]
+		}
+		return out
+	}
+
+	add := func(sys *machine.System, aux uint64, depth int32, from int32, info machine.StepInfo) (int32, error) {
+		fp := fingerprint(sys, aux)
+		if id, ok := seen[fp]; ok {
+			return id, nil
+		}
+		id := int32(len(queue))
+		seen[fp] = id
+		queue = append(queue, queueEntry{sys: sys, aux: aux, depth: depth})
+		if opts.Traces {
+			parent = append(parent, from)
+			how = append(how, info)
+		}
+		if graph != nil {
+			graph.adj = append(graph.adj, nil)
+			graph.terminal = append(graph.terminal, sys.AllDone())
+		}
+		if int(depth) > res.MaxDepth {
+			res.MaxDepth = int(depth)
+		}
+		if sys.AllDone() {
+			res.Terminals++
+		}
+		if opts.Invariant != nil {
+			if err := opts.Invariant(Node{Sys: sys, Aux: aux, Depth: int(depth)}); err != nil {
+				return id, &InvariantError{Err: err, Trace: traceTo(id)}
+			}
+		}
+		if opts.Progress != nil && opts.ProgressEvery > 0 && len(queue)%opts.ProgressEvery == 0 {
+			opts.Progress(len(queue), res.Edges)
+		}
+		return id, nil
+	}
+
+	finish := func() Result {
+		res.States = len(queue)
+		s := float64(res.States)
+		res.CollisionOdds = s * s / (2.0 * (1 << 63) * 2.0)
+		return res
+	}
+
+	if _, err := add(init.Clone(), opts.InitAux, 0, -1, machine.StepInfo{}); err != nil {
+		return finish(), err
+	}
+
+	for head := int32(0); head < int32(len(queue)); head++ {
+		cur := &queue[head]
+		sys := cur.sys
+		if len(queue) > maxStates {
+			res.Truncated = true
+			break
+		}
+		if opts.Prune != nil && opts.Prune(Node{Sys: sys, Aux: cur.aux, Depth: int(cur.depth)}) {
+			res.Pruned++
+			cur.sys = nil
+			continue
+		}
+		for p := 0; p < sys.N(); p++ {
+			if !sys.Enabled(p) {
+				continue
+			}
+			nChoices := len(sys.Procs[p].Pending())
+			for c := 0; c < nChoices; c++ {
+				succ := sys.Clone()
+				info, err := succ.Step(p, c)
+				if err != nil {
+					return finish(), fmt.Errorf("explore: %w", err)
+				}
+				aux := cur.aux
+				if opts.Aux != nil {
+					aux = opts.Aux(aux, info, succ)
+				}
+				id, err := add(succ, aux, cur.depth+1, head, info)
+				if err != nil {
+					return finish(), err
+				}
+				res.Edges++
+				if graph != nil {
+					graph.adj[head] = append(graph.adj[head], id)
+				}
+				cur = &queue[head] // queue may have been reallocated by add
+				sys = cur.sys
+			}
+		}
+		cur.sys = nil // release the expanded state's memory
+	}
+	return finish(), nil
+}
+
+// FindCycle reports whether the graph contains a cycle and returns one
+// witness state index on it. A cycle means some execution revisits a
+// global state while non-terminated processors keep stepping — a
+// wait-freedom violation for algorithms whose processors must terminate.
+func (g *StateGraph) FindCycle() (int, bool) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make([]uint8, len(g.adj))
+	// Iterative DFS to survive deep graphs.
+	type frame struct {
+		node int32
+		next int
+	}
+	for start := range g.adj {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: int32(start)}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				succ := g.adj[f.node][f.next]
+				f.next++
+				switch color[succ] {
+				case grey:
+					return int(succ), true
+				case white:
+					color[succ] = grey
+					stack = append(stack, frame{node: succ})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return 0, false
+}
+
+// Deadlocked returns states that are sinks but not terminal: some machine
+// is still running yet no step applies. This cannot happen for well-formed
+// machines (non-Done machines always have a pending op) and exists as a
+// sanity check on machine implementations.
+func (g *StateGraph) Deadlocked() []int {
+	var out []int
+	for i, succs := range g.adj {
+		if len(succs) == 0 && !g.terminal[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Permutations returns all permutations of 0..m-1 in lexicographic order
+// of generation (identity first).
+func Permutations(m int) [][]int {
+	cur := make([]int, m)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == m {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := k; i < m; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ForAllWirings invokes f for every assignment of wiring permutations to n
+// processors over m registers. With canonical true, processor 0's wiring
+// is fixed to the identity: a global relabeling of the registers maps any
+// system to one of this form without changing behaviour, so the reduction
+// is sound for properties invariant under register renaming (all of ours).
+func ForAllWirings(n, m int, canonical bool, f func(perms [][]int) error) error {
+	perms := Permutations(m)
+	choice := make([][]int, n)
+	var rec func(p int) error
+	rec = func(p int) error {
+		if p == n {
+			cp := make([][]int, n)
+			for i := range choice {
+				cp[i] = append([]int(nil), choice[i]...)
+			}
+			return f(cp)
+		}
+		if p == 0 && canonical {
+			choice[0] = perms[0] // identity is first
+			return rec(1)
+		}
+		for _, perm := range perms {
+			choice[p] = perm
+			if err := rec(p + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// WiringCount returns how many wiring assignments ForAllWirings visits.
+func WiringCount(n, m int, canonical bool) int {
+	fact := 1
+	for i := 2; i <= m; i++ {
+		fact *= i
+	}
+	total := 1
+	start := 0
+	if canonical {
+		start = 1
+	}
+	for p := start; p < n; p++ {
+		total *= fact
+	}
+	return total
+}
+
+// FormatTrace renders a counterexample trace compactly.
+func FormatTrace(trace []machine.StepInfo) string {
+	parts := make([]string, len(trace))
+	for i, info := range trace {
+		parts[i] = fmt.Sprintf("p%d:%s", info.Proc, info.Op)
+	}
+	return strings.Join(parts, " ")
+}

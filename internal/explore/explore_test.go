@@ -1,0 +1,433 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/view"
+)
+
+func TestPermutations(t *testing.T) {
+	perms := Permutations(3)
+	if len(perms) != 6 {
+		t.Fatalf("permutations = %d", len(perms))
+	}
+	if fmt.Sprint(perms[0]) != "[0 1 2]" {
+		t.Errorf("first permutation %v is not identity", perms[0])
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		seen[fmt.Sprint(p)] = true
+	}
+	if len(seen) != 6 {
+		t.Error("duplicate permutations")
+	}
+}
+
+func TestWiringCountAndForAllWirings(t *testing.T) {
+	for _, c := range []struct {
+		n, m      int
+		canonical bool
+		want      int
+	}{
+		{2, 2, true, 2}, {2, 2, false, 4},
+		{3, 3, true, 36}, {3, 3, false, 216},
+		{1, 3, true, 1},
+	} {
+		if got := WiringCount(c.n, c.m, c.canonical); got != c.want {
+			t.Errorf("WiringCount(%d,%d,%v) = %d, want %d", c.n, c.m, c.canonical, got, c.want)
+		}
+		count := 0
+		err := ForAllWirings(c.n, c.m, c.canonical, func(perms [][]int) error {
+			count++
+			if len(perms) != c.n {
+				t.Fatalf("wiring for %d processors", len(perms))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != c.want {
+			t.Errorf("ForAllWirings(%d,%d,%v) visited %d, want %d", c.n, c.m, c.canonical, count, c.want)
+		}
+	}
+}
+
+func TestForAllWiringsPropagatesError(t *testing.T) {
+	sentinel := errors.New("stop")
+	calls := 0
+	err := ForAllWirings(2, 2, false, func([][]int) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+// exploreBoth runs BFS and DFS on clones of the same system and asserts
+// they agree on state and terminal counts.
+func exploreBoth(t *testing.T, sys *machine.System, opts Options) (Result, Result) {
+	t.Helper()
+	b, err := BFS(sys.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DFS(sys.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.States != d.States {
+		t.Errorf("BFS states %d != DFS states %d", b.States, d.States)
+	}
+	if b.Terminals != d.Terminals {
+		t.Errorf("BFS terminals %d != DFS terminals %d", b.Terminals, d.Terminals)
+	}
+	if b.Edges != d.Edges {
+		t.Errorf("BFS edges %d != DFS edges %d", b.Edges, d.Edges)
+	}
+	return b, d
+}
+
+func TestBFSAndDFSAgreeOnSnapshotN2(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}, Nondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := exploreBoth(t, sys, Options{})
+	if b.States == 0 || b.Terminals == 0 {
+		t.Errorf("degenerate exploration: %+v", b)
+	}
+}
+
+func TestSnapshotSafetyN2AllWirings(t *testing.T) {
+	sweep, err := CheckSnapshotSafety(SnapshotConfig{
+		Inputs:    []string{"a", "b"},
+		Nondet:    true,
+		Canonical: true,
+		Traces:    true,
+	})
+	if err != nil {
+		t.Fatalf("safety violated: %v", err)
+	}
+	if sweep.Wirings != 2 || sweep.Truncated {
+		t.Errorf("sweep = %+v", sweep)
+	}
+	if sweep.Terminals == 0 {
+		t.Error("no terminal states reached")
+	}
+}
+
+func TestSnapshotSafetyN2Groups(t *testing.T) {
+	// Two processors in the same group (equal inputs).
+	if _, err := CheckSnapshotSafety(SnapshotConfig{
+		Inputs:    []string{"g", "g"},
+		Nondet:    true,
+		Canonical: true,
+	}); err != nil {
+		t.Fatalf("safety violated: %v", err)
+	}
+}
+
+func TestSnapshotWaitFreeN2AllWirings(t *testing.T) {
+	sweep, err := CheckSnapshotWaitFree(SnapshotConfig{
+		Inputs:    []string{"a", "b"},
+		Nondet:    true,
+		Canonical: true,
+		Traces:    true,
+	})
+	if err != nil {
+		t.Fatalf("wait-freedom violated: %v", err)
+	}
+	if sweep.Wirings != 2 {
+		t.Errorf("sweep = %+v", sweep)
+	}
+}
+
+// TestFootnote4LevelN1SufficesAtN2 checks the paper's footnote 4 at N=2:
+// terminating at level N−1 = 1 is still safe (exhaustively, all wirings).
+func TestFootnote4LevelN1SufficesAtN2(t *testing.T) {
+	if _, err := CheckSnapshotSafety(SnapshotConfig{
+		Inputs:    []string{"a", "b"},
+		Level:     1,
+		Nondet:    true,
+		Canonical: true,
+	}); err != nil {
+		t.Fatalf("level N-1 unsafe at N=2: %v", err)
+	}
+	if _, err := CheckSnapshotWaitFree(SnapshotConfig{
+		Inputs:    []string{"a", "b"},
+		Level:     1,
+		Nondet:    true,
+		Canonical: true,
+	}); err != nil {
+		t.Fatalf("level N-1 not wait-free at N=2: %v", err)
+	}
+}
+
+func TestWriteScanHasCycles(t *testing.T) {
+	// The write-scan loop never terminates: its (finite) state graph must
+	// contain a cycle, which both explorers must report.
+	sys, _, err := core.NewWriteScanSystem(core.Config{Inputs: []string{"a", "b"}, Registers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DFS(sys.Clone(), Options{Traces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Cycle {
+		t.Error("DFS found no cycle in the write-scan loop")
+	}
+	if len(d.CycleTrace) == 0 {
+		t.Error("no cycle trace recorded")
+	}
+	b, err := BFS(sys.Clone(), Options{TrackGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, cyclic := b.Graph.FindCycle(); !cyclic {
+		t.Error("BFS graph has no cycle")
+	}
+	if d.Terminals != 0 || b.Terminals != 0 {
+		t.Error("write-scan terminated")
+	}
+}
+
+func TestInvariantViolationCarriesTrace(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("no output allowed")
+	inv := func(n Node) error {
+		if n.Sys.DoneCount() > 0 {
+			return boom
+		}
+		return nil
+	}
+	for name, run := range map[string]func(*machine.System, Options) (Result, error){"bfs": BFS, "dfs": DFS} {
+		_, err := run(sys.Clone(), Options{Invariant: inv, Traces: true})
+		var ie *InvariantError
+		if !errors.As(err, &ie) {
+			t.Fatalf("%s: err = %v", name, err)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("%s: unwrap failed", name)
+		}
+		if len(ie.Trace) == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+		// Solo processor: 1 write + 1 read per iteration, 1 iteration
+		// (m=n=1), then output: 3 steps.
+		if len(ie.Trace) != 3 {
+			t.Errorf("%s: trace length %d, want 3", name, len(ie.Trace))
+		}
+		if s := FormatTrace(ie.Trace); !strings.Contains(s, "output") {
+			t.Errorf("%s: trace %q misses output step", name, s)
+		}
+	}
+}
+
+func TestTruncationReported(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func(*machine.System, Options) (Result, error){"bfs": BFS, "dfs": DFS} {
+		res, err := run(sys.Clone(), Options{MaxStates: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Truncated {
+			t.Errorf("%s: not truncated", name)
+		}
+	}
+}
+
+func TestPruneCuts(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DFS(sys.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := DFS(sys.Clone(), Options{Prune: func(n Node) bool { return n.Depth >= 5 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Pruned == 0 {
+		t.Error("nothing pruned")
+	}
+	if pruned.States >= full.States {
+		t.Errorf("pruned states %d >= full %d", pruned.States, full.States)
+	}
+}
+
+func TestDFSRejectsTrackGraph(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DFS(sys, Options{TrackGraph: true}); err == nil {
+		t.Error("TrackGraph accepted by DFS")
+	}
+}
+
+func TestNoWitnessAtN2(t *testing.T) {
+	// Exhaustive over both canonical wirings: at N=2 the algorithm IS an
+	// atomic memory snapshot (every output was the memory union at some
+	// instant). The paper's non-atomicity witness requires N=3.
+	r, err := FindNonAtomicityWitness(SnapshotConfig{
+		Inputs:    []string{"a", "b"},
+		Canonical: true,
+		Traces:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Found {
+		t.Errorf("unexpected witness at N=2: %+v", r.Witness)
+	}
+	if !r.Exhaustive {
+		t.Error("N=2 witness search should be exhaustive")
+	}
+}
+
+func TestConsensusBoundedN2(t *testing.T) {
+	sweep, err := CheckConsensusBounded(ConsensusConfig{
+		Inputs:       []string{"x", "y"},
+		MaxTimestamp: 2,
+		Canonical:    true,
+	})
+	if err != nil {
+		t.Fatalf("consensus safety violated: %v", err)
+	}
+	if sweep.Wirings != 2 || sweep.TotalStates == 0 {
+		t.Errorf("sweep = %+v", sweep)
+	}
+}
+
+func TestSnapshotInvariantRejectsBadOutputs(t *testing.T) {
+	// Feed the invariant a hand-built system with invalid outputs via a
+	// level-1 threshold and a crafted schedule is hard; instead check the
+	// invariant function directly on a tiny fake.
+	in := view.NewInterner()
+	a, b := in.Intern("a"), in.Intern("b")
+	inv := SnapshotInvariant([]view.ID{a, b})
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv(Node{Sys: sys}); err != nil {
+		t.Errorf("fresh system rejected: %v", err)
+	}
+}
+
+func TestMemoryUnion(t *testing.T) {
+	sys, in, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memoryUnion(sys).IsEmpty() {
+		t.Error("initial union not empty")
+	}
+	if _, err := sys.Step(0, 0); err != nil { // p0 writes {a}
+		t.Fatal(err)
+	}
+	aID, _ := in.Lookup("a")
+	if !memoryUnion(sys).Equal(view.Of(aID)) {
+		t.Errorf("union = %v", memoryUnion(sys))
+	}
+}
+
+func TestSubsetsOf(t *testing.T) {
+	subs := subsetsOf([]view.ID{0, 1, 0})
+	if len(subs) != 3 { // nonempty subsets of {0,1}
+		t.Errorf("subsets = %d, want 3", len(subs))
+	}
+}
+
+func TestRandomNonAtomicityWitnessRuns(t *testing.T) {
+	// Small smoke run; discovery is not expected at these sizes.
+	_, found, err := RandomNonAtomicityWitness([]string{"a", "b"}, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("witness at N=2 contradicts the exhaustive result")
+	}
+	if _, _, err := RandomNonAtomicityWitness(nil, 1, 1); err == nil {
+		t.Error("empty inputs accepted")
+	}
+}
+
+func TestCheckSnapshotSafetyDetectsBrokenLevel(t *testing.T) {
+	// Level 1 at N=3 is below the paper's N−1 floor. The pathological
+	// behaviour needs specific wirings and schedules; the exhaustive
+	// sweep must find a violation if one exists within the bound. We keep
+	// the bound small here — the full result is produced by cmd/figures.
+	_, err := CheckSnapshotSafety(SnapshotConfig{
+		Inputs:    []string{"a", "b", "c"},
+		Level:     1,
+		Canonical: true,
+		MaxStates: 60_000,
+		Traces:    true,
+	})
+	var ie *InvariantError
+	if err == nil {
+		t.Skip("no violation within the small bound; cmd/figures runs the full search")
+	}
+	if !errors.As(err, &ie) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	t.Logf("level-1 violation found: %v", ie.Err)
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp0 := fingerprint(sys, 0)
+	if fingerprint(sys, 0) != fp0 {
+		t.Error("fingerprint not deterministic")
+	}
+	if fingerprint(sys, 1) == fp0 {
+		t.Error("aux not folded into fingerprint")
+	}
+	cp := sys.Clone()
+	if _, err := cp.Step(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(cp, 0) == fp0 {
+		t.Error("step did not change fingerprint")
+	}
+}
+
+func TestWiringsAreRestoredPerCall(t *testing.T) {
+	// ForAllWirings hands out independent copies.
+	var first [][]int
+	err := ForAllWirings(2, 2, false, func(perms [][]int) error {
+		if first == nil {
+			first = perms
+			return nil
+		}
+		first[0][0] = 99 // mutate previous copy; must not affect anything
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anonmem.New(2, core.EmptyCell, anonmem.IdentityWirings(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+package explore
+
+import (
+	"fmt"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/view"
+)
+
+// Guided non-atomicity witness search (E5).
+//
+// A witness execution has a rigid structure (see DESIGN.md): a processor A
+// outputs a view O while a third value keeps "hopping" through the
+// registers — present whenever the memory union would otherwise equal O,
+// yet never read by the processors whose views must stay within O. The
+// hopping cells can only be erased by A's and B's own (fair, rotating)
+// writes, so their placement is a precise dance against the base
+// schedule.
+//
+// Rather than hand-derive the dance, GuidedWitness fixes a deterministic
+// base schedule for A and B (a repeating pattern), and weaves in C's
+// writes greedily under an exact lookahead test: C may write register g
+// now only if, continuing the base schedule, neither A nor B reads g
+// before the next A/B write to g. Because everything is deterministic,
+// the lookahead is a bounded clone simulation and the resulting execution
+// is replayable.
+
+// GuidedTrace is a replayable witness execution.
+type GuidedTrace struct {
+	// Wirings are the three processors' wirings (A, B, C).
+	Wirings [][]int
+	// Pattern is the repeating base schedule over processors 0 (A) and 1 (B).
+	Pattern []int
+	// Steps is the full executed schedule including C's woven steps.
+	Steps []int
+	// Output is A's snapshot output (the witness set).
+	Output view.View
+	// Unions is every distinct memory union observed, in first-seen order.
+	Unions []view.View
+}
+
+// guidedConfig is one candidate configuration for the guided search.
+type guidedConfig struct {
+	wiringA []int
+	wiringB []int
+	wiringC []int
+	pattern []int
+	// warmupA delays B's entry: the first warmupA base steps all go to A,
+	// letting A build level before the covering dance starts.
+	warmupA int
+}
+
+// GuidedWitness searches for a non-atomicity witness at N=3 with inputs
+// a, b, c: an execution where processor A outputs {a,b} although the
+// memory union never equals {a,b} at any instant.
+//
+// The overlap analysis (see the file comment) shows the covering value c
+// must always live in the register that A or B writes NEXT, alternating —
+// so the three write rotations must interleave consistently. The search
+// tries every combination of the three wirings and a set of base
+// scheduling patterns. maxSteps bounds each attempt.
+func GuidedWitness(maxSteps int) (GuidedTrace, bool, error) {
+	patterns := [][]int{
+		{0, 1}, {1, 0}, {0, 0, 1}, {0, 1, 1}, {1, 1, 0}, {1, 0, 0},
+		{0, 0, 1, 1}, {1, 1, 0, 0}, {0, 1, 0, 1, 1}, {0, 0, 0, 1},
+	}
+	perms := Permutations(3)
+	for _, warmup := range []int{0, 4, 8, 12, 16, 20, 24} {
+		for _, wa := range perms {
+			for _, wb := range perms {
+				for _, wc := range perms {
+					for _, pat := range patterns {
+						cfg := guidedConfig{wiringA: wa, wiringB: wb, wiringC: wc, pattern: pat, warmupA: warmup}
+						tr, found, err := tryGuided(cfg, maxSteps)
+						if err != nil {
+							return GuidedTrace{}, false, err
+						}
+						if found {
+							return tr, true, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return GuidedTrace{}, false, nil
+}
+
+// ReplayGuided re-executes a guided trace from scratch and re-validates
+// the witness condition, returning the union history. It is used by the
+// experiment harness to double-check the construction independently.
+func ReplayGuided(tr GuidedTrace) (bool, error) {
+	sys, in, err := guidedSystem(tr.Wirings)
+	if err != nil {
+		return false, err
+	}
+	seen := map[string]bool{view.Empty().Key(): true}
+	for _, p := range tr.Steps {
+		if _, err := sys.Step(p, 0); err != nil {
+			return false, err
+		}
+		seen[memoryUnion(sys).Key()] = true
+	}
+	outA, ok := sys.Procs[0].Output().(core.Cell)
+	if !ok || !sys.Procs[0].Done() {
+		return false, fmt.Errorf("explore: replay: A did not terminate")
+	}
+	_ = in
+	if !outA.View.Equal(tr.Output) {
+		return false, fmt.Errorf("explore: replay diverged: output %v vs %v", outA.View, tr.Output)
+	}
+	return !seen[tr.Output.Key()], nil
+}
+
+func guidedSystem(wirings [][]int) (*machine.System, *view.Interner, error) {
+	in := view.NewInterner()
+	a := in.Intern("a")
+	b := in.Intern("b")
+	c := in.Intern("c")
+	procs := []machine.Machine{
+		core.NewSnapshot(3, 3, a, false),
+		core.NewSnapshot(3, 3, b, false),
+		core.NewSnapshot(3, 3, c, false),
+	}
+	mem, err := anonmem.New(3, core.EmptyCell, wirings)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := machine.NewSystem(mem, procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, in, nil
+}
+
+// tryGuided attempts one configuration.
+func tryGuided(cfg guidedConfig, maxSteps int) (GuidedTrace, bool, error) {
+	wirings := [][]int{cfg.wiringA, cfg.wiringB, cfg.wiringC}
+	sys, in, err := guidedSystem(wirings)
+	if err != nil {
+		return GuidedTrace{}, false, err
+	}
+	aID, _ := in.Lookup("a")
+	bID, _ := in.Lookup("b")
+	target := view.Of(aID, bID)
+
+	seenUnions := map[string]bool{view.Empty().Key(): true}
+	var unions []view.View
+	note := func() {
+		u := memoryUnion(sys)
+		if !seenUnions[u.Key()] {
+			seenUnions[u.Key()] = true
+			unions = append(unions, u)
+		}
+	}
+
+	tr := GuidedTrace{Wirings: wirings, Pattern: cfg.pattern}
+	step := func(p int) error {
+		if _, err := sys.Step(p, 0); err != nil {
+			return err
+		}
+		tr.Steps = append(tr.Steps, p)
+		note()
+		return nil
+	}
+
+	baseProc := func(idx int) int {
+		if idx < cfg.warmupA {
+			return 0
+		}
+		return cfg.pattern[(idx-cfg.warmupA)%len(cfg.pattern)]
+	}
+
+	patIdx := 0
+	for len(tr.Steps) < maxSteps {
+		// A done => check the witness condition.
+		if sys.Procs[0].Done() {
+			out, ok := sys.Procs[0].Output().(core.Cell)
+			if !ok {
+				return tr, false, fmt.Errorf("explore: A output %T", sys.Procs[0].Output())
+			}
+			if out.View.Equal(target) && !seenUnions[target.Key()] {
+				tr.Output = out.View
+				tr.Unions = unions
+				return tr, true, nil
+			}
+			return tr, false, nil
+		}
+		// Union hit the target => this attempt cannot be a witness.
+		if seenUnions[target.Key()] {
+			return tr, false, nil
+		}
+		// Weave C: drain its reads/outputs freely; take its pending write
+		// when the lookahead proves it invisible to A and B.
+		for !sys.Procs[2].Done() {
+			op := sys.Procs[2].Pending()[0]
+			if op.Kind == machine.OpWrite {
+				if !coverIsSafe(sys, baseProc, patIdx, op) {
+					break
+				}
+			}
+			if err := step(2); err != nil {
+				return tr, false, err
+			}
+		}
+		// One base step.
+		p := baseProc(patIdx)
+		patIdx++
+		if sys.Procs[p].Done() {
+			p = 1 - p
+			if sys.Procs[p].Done() {
+				return tr, false, nil
+			}
+		}
+		if err := step(p); err != nil {
+			return tr, false, err
+		}
+	}
+	return tr, false, nil
+}
+
+// coverIsSafe clones the system, performs C's pending write, and runs the
+// base schedule forward: the write is safe iff the written register is
+// overwritten (by A or B) before either A or B reads it, within a bounded
+// horizon.
+func coverIsSafe(sys *machine.System, baseProc func(int) int, patIdx int, op machine.Op) bool {
+	const horizon = 128
+	clone := sys.Clone()
+	g := clone.Mem.Global(2, op.Reg)
+	if _, err := clone.Step(2, 0); err != nil {
+		return false
+	}
+	for i := 0; i < horizon; i++ {
+		p := baseProc(patIdx + i)
+		if clone.Procs[p].Done() {
+			p = 1 - p
+			if clone.Procs[p].Done() {
+				return false
+			}
+		}
+		info, err := clone.Step(p, 0)
+		if err != nil {
+			return false
+		}
+		if info.Op.Kind == machine.OpRead && info.Global == g {
+			return false // A or B read the covering cell
+		}
+		if info.Op.Kind == machine.OpWrite && info.Global == g {
+			return true // erased unseen
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/view"
+)
+
+// RandomWitness describes a non-atomicity witness found by simulation.
+type RandomWitness struct {
+	// Seed reproduces the run (wirings, schedule and choices all derive
+	// from it).
+	Seed int64
+	// Wirings is the wiring assignment of the witness run.
+	Wirings [][]int
+	// Proc and Output identify the offending snapshot.
+	Proc   int
+	Output view.View
+	// UnionHistory is every distinct value of "union of all register
+	// views" the run went through, in first-seen order.
+	UnionHistory []view.View
+}
+
+// RandomNonAtomicityWitness searches for a non-atomicity witness (E5) by
+// random simulation: for each trial it draws wirings and a schedule from
+// the seed, runs the Figure 3 algorithm to completion, records the set of
+// values "union of all register views" took at every instant, and reports
+// any output that never occurred as such a union. Unlike the exhaustive
+// search this cannot prove absence; it is how the witness the paper
+// attributes to TLC is found at practical cost.
+func RandomNonAtomicityWitness(inputs []string, trials int, seed int64) (RandomWitness, bool, error) {
+	n := len(inputs)
+	if n == 0 {
+		return RandomWitness{}, false, fmt.Errorf("explore: no inputs")
+	}
+	for trial := 0; trial < trials; trial++ {
+		trialSeed := seed + int64(trial)
+		rng := rand.New(rand.NewSource(trialSeed))
+		wirings := anonmem.RandomWirings(rng, n, n)
+		sys, in, err := core.NewSnapshotSystem(core.Config{
+			Inputs:  inputs,
+			Wirings: wirings,
+			Nondet:  true,
+		})
+		if err != nil {
+			return RandomWitness{}, false, err
+		}
+		_ = in
+		seen := map[string]bool{view.Empty().Key(): true}
+		var history []view.View
+		obs := sched.ObserverFunc(func(_ int, _ machine.StepInfo, sys *machine.System) {
+			u := memoryUnion(sys)
+			if !seen[u.Key()] {
+				seen[u.Key()] = true
+				history = append(history, u)
+			}
+		})
+		s := &sched.Random{Rng: rng, ChoiceRandom: true}
+		res, err := sched.Run(sys, s, 100_000*n, obs)
+		if err != nil {
+			return RandomWitness{}, false, err
+		}
+		if res.Reason != sched.StopAllDone {
+			return RandomWitness{}, false, fmt.Errorf("explore: trial %d did not terminate (%v)", trial, res.Reason)
+		}
+		outs, ok := core.SnapshotOutputs(sys)
+		for p := range outs {
+			if ok[p] && !seen[outs[p].Key()] {
+				return RandomWitness{
+					Seed:         trialSeed,
+					Wirings:      wirings,
+					Proc:         p,
+					Output:       outs[p],
+					UnionHistory: history,
+				}, true, nil
+			}
+		}
+	}
+	return RandomWitness{}, false, nil
+}

@@ -1,0 +1,192 @@
+// Package lemmas mechanizes the proof-level definitions and lemmas of the
+// paper as runtime-checkable predicates, so the proofs' load-bearing steps
+// can be validated empirically on concrete executions:
+//
+//   - Definition 5.1: "W is durably stored despite interference by Q" —
+//     |R_W| > |Q \ Q_W|, where R_W is the set of registers whose view
+//     contains W and Q_W the members of Q that either know W or are
+//     mid-scan without having read any register of R_W yet;
+//   - Lemma 5.2/5.3: when a processor reaches its output step, its view is
+//     durably stored despite interference by all processors, and every
+//     processor that terminates later includes it;
+//   - Lemma 4.4: after stabilization, a live processor never reads from a
+//     processor whose view is not a subset of its own;
+//   - Lemma 4.5: if after some time every read of a live set A is from A,
+//     the registers last written by the complement number at most |A|.
+//
+// These checks run as sched.Observers over real executions, using the
+// ghost last-writer state that anonmem tracks.
+package lemmas
+
+import (
+	"fmt"
+
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/view"
+)
+
+// Scanner is the machine capability the Definition 5.1 predicate needs.
+type Scanner interface {
+	core.Viewer
+	// ScanProgress reports whether the machine is mid-scan and how many of
+	// its local registers it has read in the current scan (locals 0..k-1).
+	ScanProgress() (scanning bool, readLocals int)
+}
+
+// DurablyStored evaluates Definition 5.1 on the current state of sys:
+// whether the value set w is durably stored despite interference by the
+// processor set q (indices into sys.Procs).
+//
+// R_W is the set of registers whose view contains w. Q_W ⊆ Q holds the
+// processors that either already have w in their view, or are mid-scan and
+// have not yet read any register of R_W (they will read one before writing
+// again, and adopt w). The predicate is |R_W| > |Q \ Q_W|.
+func DurablyStored(sys *machine.System, w view.View, q []int) (bool, error) {
+	rw := make(map[int]bool)
+	for g := 0; g < sys.Mem.M(); g++ {
+		cell, ok := sys.Mem.CellAt(g).(core.Cell)
+		if !ok {
+			return false, fmt.Errorf("lemmas: register %d holds %T", g, sys.Mem.CellAt(g))
+		}
+		if w.SubsetOf(cell.View) {
+			rw[g] = true
+		}
+	}
+	interferers := 0
+	for _, p := range q {
+		if p < 0 || p >= sys.N() {
+			return false, fmt.Errorf("lemmas: processor %d out of range", p)
+		}
+		if sys.Procs[p].Done() {
+			continue // terminated processors take no further steps
+		}
+		sc, ok := sys.Procs[p].(Scanner)
+		if !ok {
+			return false, fmt.Errorf("lemmas: processor %d is not a Scanner", p)
+		}
+		if w.SubsetOf(sc.View()) {
+			continue // in Q_W: already knows w
+		}
+		if scanning, k := sc.ScanProgress(); scanning {
+			readRW := false
+			for local := 0; local < k; local++ {
+				if rw[sys.Mem.Global(p, local)] {
+					readRW = true
+					break
+				}
+			}
+			if !readRW {
+				continue // in Q_W: mid-scan, has not yet read R_W
+			}
+		}
+		interferers++
+	}
+	return len(rw) > interferers, nil
+}
+
+// AllProcs returns 0..n-1, the Q = P case of Definition 5.1.
+func AllProcs(n int) []int {
+	q := make([]int, n)
+	for i := range q {
+		q[i] = i
+	}
+	return q
+}
+
+// Lemma53Monitor checks Lemma 5.3 on a running execution: whenever a
+// processor reaches its output step (its final scan is complete), its
+// view must be durably stored despite interference by all processors.
+// It also checks the Lemma 5.2 consequence: every processor terminating
+// afterwards outputs a superset.
+type Lemma53Monitor struct {
+	// Violations collects human-readable violations (empty = lemma holds).
+	Violations []string
+	// Checks counts how many termination points were examined.
+	Checks int
+
+	pending map[int]bool // procs whose output step has been observed durable
+	durable []view.View  // views certified durable so far
+}
+
+// OnStep implements sched.Observer.
+func (m *Lemma53Monitor) OnStep(t int, info machine.StepInfo, sys *machine.System) {
+	if m.pending == nil {
+		m.pending = make(map[int]bool)
+	}
+	p := info.Proc
+	mach := sys.Procs[p]
+	// The machine is at its output step exactly when it is not done and
+	// its pending op is an output (it completed the final scan).
+	if !mach.Done() {
+		ops := mach.Pending()
+		if len(ops) == 1 && ops[0].Kind == machine.OpOutput && !m.pending[p] {
+			m.pending[p] = true
+			m.Checks++
+			v, ok := mach.(core.Viewer)
+			if !ok {
+				m.Violations = append(m.Violations, fmt.Sprintf("step %d: p%d not a Viewer", t, p))
+				return
+			}
+			durable, err := DurablyStored(sys, v.View(), AllProcs(sys.N()))
+			if err != nil {
+				m.Violations = append(m.Violations, err.Error())
+				return
+			}
+			if !durable {
+				m.Violations = append(m.Violations,
+					fmt.Sprintf("step %d: p%d reached its output step but %v is not durably stored (Lemma 5.3)", t, p, v.View()))
+			}
+			// Lemma 5.2 consequence for earlier durable views.
+			for _, w := range m.durable {
+				if !w.SubsetOf(v.View()) {
+					m.Violations = append(m.Violations,
+						fmt.Sprintf("step %d: p%d terminates with %v missing durable %v (Lemma 5.2)", t, p, v.View(), w))
+				}
+			}
+			m.durable = append(m.durable, v.View())
+		}
+	}
+}
+
+// Lemma44Check verifies Lemma 4.4 over one further cycle of a stabilized
+// execution: every read by a live processor must be from a processor whose
+// view is a subset of the reader's (stable views only shrink-compare along
+// reads-from edges). readerViews maps processor -> stable view; edges are
+// (reader, writer) pairs observed after stabilization; writers outside
+// readerViews (non-live) are ignored, as the lemma quantifies over live
+// processors after GST (when all non-live writes are gone).
+func Lemma44Check(readerViews map[int]view.View, edges [][2]int) error {
+	for _, e := range edges {
+		reader, writer := e[0], e[1]
+		rv, okR := readerViews[reader]
+		wv, okW := readerViews[writer]
+		if !okR || !okW {
+			continue
+		}
+		if !wv.SubsetOf(rv) {
+			return fmt.Errorf("lemmas: live p%d (view %v) read from p%d (view %v ⊄ reader's view) after GST (Lemma 4.4)",
+				reader, rv, writer, wv)
+		}
+	}
+	return nil
+}
+
+// Lemma45Check verifies Lemma 4.5's conclusion on a stabilized state: for
+// the live set A of processors holding the source stable view (whose reads
+// per Lemma 4.4 are all from A), the number of registers last written by
+// the complement of A is at most |A|.
+func Lemma45Check(sys *machine.System, a []int) error {
+	inA := make(map[int]bool, len(a))
+	for _, p := range a {
+		inA[p] = true
+	}
+	complementOwned := sys.Mem.LastWrittenBy(func(writer int) bool {
+		return writer >= 0 && !inA[writer]
+	})
+	if len(complementOwned) > len(a) {
+		return fmt.Errorf("lemmas: %d registers last written by the complement of A (|A|=%d) (Lemma 4.5)",
+			len(complementOwned), len(a))
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package lemmas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/stableview"
+	"anonshm/internal/trace"
+	"anonshm/internal/view"
+)
+
+func TestDurablyStoredBasic(t *testing.T) {
+	// Single processor, single register: after it writes, its view is
+	// durably stored despite interference by {itself}.
+	sys, in, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := in.Lookup("a")
+	w := view.Of(id)
+	durable, err := DurablyStored(sys, w, AllProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable {
+		t.Error("durable before any write")
+	}
+	if _, err := sys.Step(0, 0); err != nil { // write
+		t.Fatal(err)
+	}
+	durable, err = DurablyStored(sys, w, AllProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable {
+		t.Error("not durable after the only processor wrote it")
+	}
+}
+
+func TestDurablyStoredInterference(t *testing.T) {
+	// Two processors, two registers, identity wirings. After p0 writes
+	// {a} to r0, p1 (which does not know a and is poised to write) can
+	// overwrite it: |R_W| = 1 is NOT greater than |Q \ Q_W| = 1.
+	sys, in, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	aID, _ := in.Lookup("a")
+	durable, err := DurablyStored(sys, view.Of(aID), AllProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable {
+		t.Error("durable although p1 covers it")
+	}
+	// Despite p0 alone it IS durable (p0 knows a: Q_W = {p0}).
+	durable, err = DurablyStored(sys, view.Of(aID), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable {
+		t.Error("not durable despite only the owner interfering")
+	}
+}
+
+func TestDurablyStoredMidScanRule(t *testing.T) {
+	// A processor that is mid-scan and has not yet read any R_W register
+	// counts as non-interfering: it must pass through R_W before writing.
+	// p1 is wired [1,0]: it writes r1 first, so p0's {a} in r0 survives.
+	sys, in, err := core.NewSnapshotSystem(core.Config{
+		Inputs:  []string{"a", "b"},
+		Wirings: [][]int{{0, 1}, {1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(0, 0); err != nil { // p0 w r0 {a}
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(1, 0); err != nil { // p1 w r1 {b}
+		t.Fatal(err)
+	}
+	aID, _ := in.Lookup("a")
+	// R_{a} = {r0}; p1 is mid-scan having read nothing: p1 ∈ Q_W; p0
+	// knows a: |R_W| = 1 > 0 interferers.
+	durable, err := DurablyStored(sys, view.Of(aID), AllProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable {
+		t.Error("mid-scan processor counted as interferer")
+	}
+	// Once p1 completes its scan (reading r0's {a} along the way), it
+	// knows a and joins Q_W for good.
+	for i := 0; i < 2; i++ {
+		if _, err := sys.Step(1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	durable, err = DurablyStored(sys, view.Of(aID), AllProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable {
+		t.Error("not durable after p1 learned a")
+	}
+}
+
+func TestDurablyStoredErrors(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DurablyStored(sys, view.Empty(), []int{7}); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+}
+
+// TestLemma53OnExecutions is the headline check: on hundreds of random
+// executions of the snapshot algorithm, every processor reaching its
+// output step has its view durably stored despite interference by all
+// processors (Lemma 5.3), and later terminators include every durable
+// view (Lemma 5.2).
+func TestLemma53OnExecutions(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		inputs := make([]string, n)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("v%d", rng.Intn(n))
+		}
+		sys, _, err := core.NewSnapshotSystem(core.Config{
+			Inputs:  inputs,
+			Wirings: anonmem.RandomWirings(rng, n, n),
+			Nondet:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon := &Lemma53Monitor{}
+		res, err := sched.Run(sys, &sched.Random{Rng: rng, ChoiceRandom: true}, 3_000_000, mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != sched.StopAllDone {
+			t.Fatalf("seed %d: did not terminate", seed)
+		}
+		if mon.Checks != n {
+			t.Errorf("seed %d: %d termination points checked, want %d", seed, mon.Checks, n)
+		}
+		for _, v := range mon.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// TestLemma53UnderCovererAdversary repeats the check under the covering
+// adversary, which maximizes overwrites.
+func TestLemma53UnderCovererAdversary(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		inputs := make([]string, n)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("v%d", i)
+		}
+		sys, _, err := core.NewSnapshotSystem(core.Config{
+			Inputs:  inputs,
+			Wirings: anonmem.RotationWirings(n, n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon := &Lemma53Monitor{}
+		if _, err := sched.Run(sys, &sched.Coverer{}, 3_000_000, mon); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range mon.Violations {
+			t.Errorf("n=%d: %s", n, v)
+		}
+	}
+}
+
+// TestLemma44OnStabilizedRuns checks that after stabilization, reads only
+// flow from smaller (or equal) views to larger ones.
+func TestLemma44OnStabilizedRuns(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		inputs := make([]string, n)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("v%d", i)
+		}
+		sys, _, err := core.NewWriteScanSystem(core.Config{
+			Inputs:    inputs,
+			Registers: m,
+			Wirings:   anonmem.RandomWirings(rng, n, m),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := AllProcs(n)
+		res, err := stableview.RunToStability(sys, live, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readerViews := make(map[int]view.View, n)
+		for i, p := range res.Live {
+			readerViews[p] = res.StableViews[i]
+		}
+		// Run one more full round recording reads.
+		rec := &trace.Recorder{}
+		rr := &sched.RoundRobin{}
+		if _, err := sched.Run(sys, rr, n*(m+1)*3, rec); err != nil {
+			t.Fatal(err)
+		}
+		var edges [][2]int
+		for _, e := range rec.ReadsFrom() {
+			edges = append(edges, [2]int{e.Reader, e.Writer})
+		}
+		if err := Lemma44Check(readerViews, edges); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestLemma45OnSourceHolders checks the register-count bound for the
+// source-view holders of stabilized executions.
+func TestLemma45OnSourceHolders(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		inputs := make([]string, n)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("v%d", i)
+		}
+		sys, _, err := core.NewWriteScanSystem(core.Config{
+			Inputs:    inputs,
+			Registers: m,
+			Wirings:   anonmem.RandomWirings(rng, n, m),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := stableview.RunToStability(sys, AllProcs(n), 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := stableview.BuildGraph(res)
+		src, ok := g.UniqueSource()
+		if !ok {
+			t.Fatalf("seed %d: no unique source", seed)
+		}
+		var holders []int
+		for i, v := range g.Vertices {
+			if v.Equal(src) {
+				holders = g.Holders[i]
+			}
+		}
+		if len(holders) == 0 {
+			t.Fatalf("seed %d: source has no holders", seed)
+		}
+		if err := Lemma45Check(sys, holders); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestLemma44CheckDirect(t *testing.T) {
+	views := map[int]view.View{0: view.Of(0), 1: view.Of(0, 1)}
+	// Reader 1 (bigger) reads from 0 (smaller): fine.
+	if err := Lemma44Check(views, [][2]int{{1, 0}}); err != nil {
+		t.Error(err)
+	}
+	// Reader 0 reads from 1: writer's view ⊄ reader's: violation.
+	if err := Lemma44Check(views, [][2]int{{0, 1}}); err == nil {
+		t.Error("violation not detected")
+	}
+	// Unknown writer ignored.
+	if err := Lemma44Check(views, [][2]int{{0, 9}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma45CheckDirect(t *testing.T) {
+	mem, err := anonmem.New(3, core.EmptyCell, anonmem.RotationWirings(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]machine.Machine, 3)
+	for i := range procs {
+		procs[i] = core.NewWriteScan(3, view.ID(i), false)
+	}
+	sys, err := machine.NewSystem(mem, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 and p2 each write one register: complement of A={0} owns 2 > 1.
+	if _, err := sys.Step(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lemma45Check(sys, []int{0}); err == nil {
+		t.Error("bound violation not detected")
+	}
+	if err := Lemma45Check(sys, []int{0, 1, 2}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package lowerbound mechanizes Section 2.1: with N−1 registers, no
+// non-trivial read-write coordination is possible in the fully-anonymous
+// model, because N−1 covering processors can erase every trace of a solo
+// processor's execution.
+//
+// The construction: pick a processor p and let Q be the other N−1
+// processors, wired so that each member of Q is poised to write a
+// different register (with our machines, every processor's very first
+// operation is a write, so "poised" holds in the initial state). Run p
+// solo until it outputs; then let each member of Q perform its first
+// write. The writes cover all N−1 registers, so no information written by
+// p remains — the resulting configuration is indistinguishable, to Q,
+// from the one where p never took a step. Continuing both executions with
+// the same schedule makes Q produce identical outputs in both, which
+// together with p's output violates the snapshot task: no algorithm can
+// do better, because Q cannot tell the two worlds apart.
+package lowerbound
+
+import (
+	"fmt"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/tasks"
+	"anonshm/internal/view"
+)
+
+// Demo reports one run of the Section 2.1 construction.
+type Demo struct {
+	// N is the number of processors; the memory has N−1 registers.
+	N int
+	// POutput is the snapshot p produced running solo.
+	POutput view.View
+	// MemoryKeyWithP / MemoryKeyWithoutP are the canonical register
+	// contents after the covering writes, in the execution with p and in
+	// the p-less execution. Indistinguishable == (they are equal).
+	MemoryKeyWithP    string
+	MemoryKeyWithoutP string
+	// QStatesEqual reports that every member of Q is in the same local
+	// state in both executions (trivially true: they took the same steps).
+	QStatesEqual bool
+	// Indistinguishable is the headline: after the covering writes the two
+	// executions cannot be told apart by Q.
+	Indistinguishable bool
+	// QOutputs are Q's outputs after continuing the execution with p
+	// (identical to the continuation without p, by indistinguishability).
+	QOutputs []view.View
+	// TaskViolated reports that the combined outputs (p's plus Q's)
+	// violate the snapshot task — demonstrating that N−1 registers are
+	// insufficient for the Figure 3 algorithm, as the general argument
+	// predicts for every algorithm.
+	TaskViolated bool
+	// Interner renders the views.
+	Interner *view.Interner
+}
+
+// covererWirings wires processor 0 (p) to the identity and each q ∈ Q to a
+// rotation such that q's first write (its local register 0) lands on
+// global register q−1: the N−1 covering writes hit all N−1 registers.
+func covererWirings(n int) [][]int {
+	m := n - 1
+	w := make([][]int, n)
+	for p := 0; p < n; p++ {
+		perm := make([]int, m)
+		for i := 0; i < m; i++ {
+			if p == 0 {
+				perm[i] = i
+			} else {
+				perm[i] = (p - 1 + i) % m
+			}
+		}
+		w[p] = perm
+	}
+	return w
+}
+
+func buildSystem(inputs []string) (*machine.System, *view.Interner, error) {
+	n := len(inputs)
+	in := view.NewInterner()
+	procs := make([]machine.Machine, n)
+	for i, label := range inputs {
+		// Interning order must match across both systems.
+		procs[i] = core.NewSnapshot(n, n-1, in.Intern(label), false)
+	}
+	mem, err := anonmem.New(n-1, core.EmptyCell, covererWirings(n))
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := machine.NewSystem(mem, procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, in, nil
+}
+
+// qKey renders the memory contents plus Q's local states — everything Q
+// could ever observe or remember.
+func qKey(sys *machine.System) string {
+	key := sys.Mem.Key()
+	for p := 1; p < sys.N(); p++ {
+		key += "\x00" + sys.Procs[p].StateKey()
+	}
+	return key
+}
+
+// Run executes the construction for n processors (n ≥ 2) with distinct
+// inputs, using the Figure 3 snapshot algorithm on n−1 registers.
+func Run(n int) (Demo, error) {
+	if n < 2 {
+		return Demo{}, fmt.Errorf("lowerbound: need at least 2 processors, got %d", n)
+	}
+	inputs := make([]string, n)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("v%d", i)
+	}
+
+	// Execution A: p (processor 0) runs solo to completion, then each
+	// member of Q takes exactly one step (its first write).
+	sysA, in, err := buildSystem(inputs)
+	if err != nil {
+		return Demo{}, err
+	}
+	demo := Demo{N: n, Interner: in}
+	for steps := 0; !sysA.Procs[0].Done(); steps++ {
+		if steps > 1_000_000 {
+			return demo, fmt.Errorf("lowerbound: p did not terminate solo")
+		}
+		if _, err := sysA.Step(0, 0); err != nil {
+			return demo, err
+		}
+	}
+	pOut, ok := sysA.Procs[0].Output().(core.Cell)
+	if !ok {
+		return demo, fmt.Errorf("lowerbound: p output %T", sysA.Procs[0].Output())
+	}
+	demo.POutput = pOut.View
+	for q := 1; q < n; q++ {
+		info, err := sysA.Step(q, 0)
+		if err != nil {
+			return demo, err
+		}
+		if info.Op.Kind != machine.OpWrite {
+			return demo, fmt.Errorf("lowerbound: q%d's first step is %v, not a write", q, info.Op.Kind)
+		}
+	}
+
+	// Execution B: p never runs; each member of Q takes its first write.
+	sysB, _, err := buildSystem(inputs)
+	if err != nil {
+		return demo, err
+	}
+	for q := 1; q < n; q++ {
+		if _, err := sysB.Step(q, 0); err != nil {
+			return demo, err
+		}
+	}
+
+	demo.MemoryKeyWithP = sysA.Mem.Key()
+	demo.MemoryKeyWithoutP = sysB.Mem.Key()
+	demo.QStatesEqual = true
+	for q := 1; q < n; q++ {
+		if sysA.Procs[q].StateKey() != sysB.Procs[q].StateKey() {
+			demo.QStatesEqual = false
+		}
+	}
+	demo.Indistinguishable = qKey(sysA) == qKey(sysB) && demo.QStatesEqual
+
+	// Continue execution A sequentially over Q (solo runs always
+	// terminate; the construction does not depend on the continuation's
+	// schedule).
+	order := make([]int, 0, n-1)
+	for q := 1; q < n; q++ {
+		order = append(order, q)
+	}
+	if _, err := sched.Run(sysA, &sched.Solo{Order: order}, 10_000_000, nil); err != nil {
+		return demo, err
+	}
+	outsA, okA := core.SnapshotOutputs(sysA)
+	outs := []view.View{demo.POutput}
+	snapOuts := []tasks.SnapshotOutput{{Set: demo.POutput, Done: true}}
+	for q := 1; q < n; q++ {
+		if !okA[q] {
+			return demo, fmt.Errorf("lowerbound: q%d did not terminate", q)
+		}
+		outs = append(outs, outsA[q])
+		snapOuts = append(snapOuts, tasks.SnapshotOutput{Set: outsA[q], Done: true})
+	}
+	demo.QOutputs = outs[1:]
+	e := tasks.Execution{Groups: inputs}
+	demo.TaskViolated = tasks.CheckGroupSnapshot(e, in, snapOuts) != nil
+	return demo, nil
+}

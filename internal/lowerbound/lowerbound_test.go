@@ -1,0 +1,69 @@
+package lowerbound
+
+import (
+	"fmt"
+	"testing"
+
+	"anonshm/internal/view"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestCoveringErasesSoloProcessor(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			demo, err := Run(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !demo.Indistinguishable {
+				t.Errorf("executions distinguishable:\n  with p:    %s\n  without p: %s",
+					demo.MemoryKeyWithP, demo.MemoryKeyWithoutP)
+			}
+			if !demo.QStatesEqual {
+				t.Error("Q's local states differ across executions")
+			}
+			// p ran completely alone on n−1 registers: it must output its
+			// own singleton.
+			id, _ := demo.Interner.Lookup("v0")
+			if !demo.POutput.Equal(view.Of(id)) {
+				t.Errorf("p output = %s", demo.POutput.Format(demo.Interner))
+			}
+			if !demo.TaskViolated {
+				t.Error("snapshot task not violated — the lower bound demo failed")
+			}
+			// Every Q output must miss p's input: no trace of p remains.
+			for i, o := range demo.QOutputs {
+				if o.Contains(id) {
+					t.Errorf("q%d learned p's input despite the covering: %s",
+						i+1, o.Format(demo.Interner))
+				}
+			}
+		})
+	}
+}
+
+func TestCovererWirings(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		w := covererWirings(n)
+		if len(w) != n {
+			t.Fatalf("n=%d: %d wirings", n, len(w))
+		}
+		seen := map[int]bool{}
+		for q := 1; q < n; q++ {
+			first := w[q][0]
+			if seen[first] {
+				t.Errorf("n=%d: two coverers write register %d first", n, first)
+			}
+			seen[first] = true
+		}
+		if len(seen) != n-1 {
+			t.Errorf("n=%d: coverers hit %d registers, want %d", n, len(seen), n-1)
+		}
+	}
+}

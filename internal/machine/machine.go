@@ -1,0 +1,245 @@
+// Package machine defines the state-machine abstraction that every
+// algorithm in this repository is written against, and the System that
+// executes machines against a fully-anonymous memory.
+//
+// Each PlusCal figure of the paper becomes one Machine implementation whose
+// atomic steps correspond exactly to the PlusCal labels: a step is a single
+// register read, a single register write, or an output step, each bundled
+// with the local computation that follows it (PlusCal executes everything
+// between two labels atomically). A single Machine implementation is reused
+// by the deterministic simulator, the adversarial schedulers, the
+// exhaustive explorer (which needs Clone and StateKey) and the goroutine
+// runtime.
+package machine
+
+import (
+	"fmt"
+
+	"anonshm/internal/anonmem"
+)
+
+// OpKind enumerates the kinds of atomic steps a machine can take.
+type OpKind uint8
+
+const (
+	// OpRead reads one local register; the result is passed to Advance.
+	OpRead OpKind = iota + 1
+	// OpWrite writes Op.Word to one local register.
+	OpWrite
+	// OpOutput emits Op.Word as the machine's final output and terminates
+	// the machine.
+	OpOutput
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpOutput:
+		return "output"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one atomic step a machine offers to take.
+type Op struct {
+	Kind OpKind
+	// Reg is the machine-local register index for OpRead/OpWrite.
+	Reg int
+	// Word is the value written (OpWrite) or emitted (OpOutput).
+	Word anonmem.Word
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRead:
+		return fmt.Sprintf("read(r%d)", o.Reg)
+	case OpWrite:
+		return fmt.Sprintf("write(r%d,%s)", o.Reg, o.Word.Key())
+	case OpOutput:
+		return fmt.Sprintf("output(%s)", o.Word.Key())
+	default:
+		return fmt.Sprintf("op(%d)", o.Kind)
+	}
+}
+
+// Machine is a deterministic-by-default sequential program with explicit
+// atomic steps. Machines never learn their own processor identifier — they
+// are anonymous; the System addresses them by index purely for scheduling.
+type Machine interface {
+	// Pending returns the operations the machine may perform next, or nil
+	// iff Done. Deterministic machines return exactly one op; machines with
+	// internal nondeterminism (PlusCal `with` choices, e.g. which unwritten
+	// register to write) return one op per alternative, with index 0 being
+	// the default the non-exhaustive runners take.
+	Pending() []Op
+
+	// Advance applies the result of executing Pending()[choice]: read holds
+	// the value read for OpRead and is nil otherwise. Advance performs all
+	// local computation up to the next label.
+	Advance(choice int, read anonmem.Word)
+
+	// Done reports whether the machine has terminated (taken its OpOutput
+	// step). Machines that never terminate (the write-scan loop) always
+	// return false.
+	Done() bool
+
+	// Output returns the machine's output word, or nil if not Done.
+	Output() anonmem.Word
+
+	// Clone returns an independent deep copy.
+	Clone() Machine
+
+	// StateKey returns a canonical encoding of the machine's local state,
+	// used by the explorer to deduplicate global states.
+	StateKey() string
+}
+
+// StepInfo describes one executed step, for tracing and analyses.
+type StepInfo struct {
+	Proc   int
+	Choice int
+	Op     Op
+	// Global is the global register index touched (read/write), or -1.
+	Global int
+	// Read is the word read (OpRead only).
+	Read anonmem.Word
+	// ReadFrom is the processor whose write was read (OpRead only), or
+	// anonmem.NoWriter if the register was unwritten.
+	ReadFrom int
+	// Overwrote is the word replaced (OpWrite only).
+	Overwrote anonmem.Word
+	// PrevWriter is the processor whose write was overwritten (OpWrite
+	// only), or anonmem.NoWriter.
+	PrevWriter int
+	// Output is the emitted word (OpOutput only).
+	Output anonmem.Word
+}
+
+// System bundles a memory with its machines and executes steps.
+type System struct {
+	Mem   *anonmem.Memory
+	Procs []Machine
+}
+
+// NewSystem validates that the memory is wired for exactly len(procs)
+// processors and returns the system.
+func NewSystem(mem *anonmem.Memory, procs []Machine) (*System, error) {
+	if mem.N() != len(procs) {
+		return nil, fmt.Errorf("machine: memory wired for %d processors, got %d machines", mem.N(), len(procs))
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("machine: no machines")
+	}
+	for i, m := range procs {
+		if m == nil {
+			return nil, fmt.Errorf("machine: nil machine at index %d", i)
+		}
+	}
+	return &System{Mem: mem, Procs: procs}, nil
+}
+
+// N returns the number of processors.
+func (s *System) N() int { return len(s.Procs) }
+
+// Enabled reports whether processor p can take a step.
+func (s *System) Enabled(p int) bool { return !s.Procs[p].Done() }
+
+// AllDone reports whether every machine has terminated.
+func (s *System) AllDone() bool {
+	for _, m := range s.Procs {
+		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// DoneCount returns how many machines have terminated.
+func (s *System) DoneCount() int {
+	n := 0
+	for _, m := range s.Procs {
+		if m.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// Step executes choice c of processor p's pending operations atomically and
+// advances the machine. It returns a description of the step.
+func (s *System) Step(p, c int) (StepInfo, error) {
+	if p < 0 || p >= len(s.Procs) {
+		return StepInfo{}, fmt.Errorf("machine: processor %d out of range", p)
+	}
+	m := s.Procs[p]
+	ops := m.Pending()
+	if len(ops) == 0 {
+		return StepInfo{}, fmt.Errorf("machine: processor %d has terminated", p)
+	}
+	if c < 0 || c >= len(ops) {
+		return StepInfo{}, fmt.Errorf("machine: processor %d choice %d out of range (%d choices)", p, c, len(ops))
+	}
+	op := ops[c]
+	info := StepInfo{Proc: p, Choice: c, Op: op, Global: -1, ReadFrom: anonmem.NoWriter, PrevWriter: anonmem.NoWriter}
+	switch op.Kind {
+	case OpRead:
+		res := s.Mem.Read(p, op.Reg)
+		info.Global = res.Global
+		info.Read = res.Word
+		info.ReadFrom = res.LastWriter
+		m.Advance(c, res.Word)
+	case OpWrite:
+		res := s.Mem.Write(p, op.Reg, op.Word)
+		info.Global = res.Global
+		info.Overwrote = res.Overwrote
+		info.PrevWriter = res.PrevWriter
+		m.Advance(c, nil)
+	case OpOutput:
+		info.Output = op.Word
+		m.Advance(c, nil)
+		if !m.Done() {
+			return info, fmt.Errorf("machine: processor %d not Done after output step", p)
+		}
+	default:
+		return StepInfo{}, fmt.Errorf("machine: processor %d pending op has invalid kind %v", p, op.Kind)
+	}
+	return info, nil
+}
+
+// Clone returns an independent deep copy of the system.
+func (s *System) Clone() *System {
+	procs := make([]Machine, len(s.Procs))
+	for i, m := range s.Procs {
+		procs[i] = m.Clone()
+	}
+	return &System{Mem: s.Mem.Clone(), Procs: procs}
+}
+
+// Key returns a canonical encoding of the global state: register contents
+// plus every machine's local state. Wirings are fixed per execution and
+// therefore excluded.
+func (s *System) Key() string {
+	key := s.Mem.Key()
+	for _, m := range s.Procs {
+		key += "\x00" + m.StateKey()
+	}
+	return key
+}
+
+// Outputs returns the outputs of the terminated machines, indexed by
+// processor; entries for non-terminated machines are nil.
+func (s *System) Outputs() []anonmem.Word {
+	out := make([]anonmem.Word, len(s.Procs))
+	for i, m := range s.Procs {
+		if m.Done() {
+			out[i] = m.Output()
+		}
+	}
+	return out
+}

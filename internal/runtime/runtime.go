@@ -1,0 +1,181 @@
+// Package runtime executes fully-anonymous algorithms on real goroutines:
+// one goroutine per processor, shared registers implemented as single
+// atomic pointers (loads and stores of a single pointer are linearizable,
+// which is exactly the MWMR atomic-register semantics of the model).
+//
+// The simulated scheduler in internal/sched reproduces adversarial
+// interleavings deterministically; this package complements it by running
+// the same machine.Machine implementations under the Go scheduler with the
+// race detector, and by providing wall-clock benchmarks.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/machine"
+)
+
+// SharedMemory is a linearizable, fully-anonymous register file safe for
+// concurrent use.
+type SharedMemory struct {
+	cells []atomic.Pointer[anonmem.Word]
+	perms [][]int
+}
+
+// NewSharedMemory creates m registers initialized to initial, wired
+// through perms (one permutation of 0..m-1 per processor).
+func NewSharedMemory(m int, initial anonmem.Word, perms [][]int) (*SharedMemory, error) {
+	// Reuse anonmem's validation by constructing a throwaway memory.
+	if _, err := anonmem.New(m, initial, perms); err != nil {
+		return nil, err
+	}
+	sm := &SharedMemory{cells: make([]atomic.Pointer[anonmem.Word], m)}
+	for i := range sm.cells {
+		w := initial
+		sm.cells[i].Store(&w)
+	}
+	sm.perms = make([][]int, len(perms))
+	for p := range perms {
+		sm.perms[p] = append([]int(nil), perms[p]...)
+	}
+	return sm, nil
+}
+
+// Read atomically reads processor p's local register index.
+func (sm *SharedMemory) Read(p, local int) anonmem.Word {
+	return *sm.cells[sm.perms[p][local]].Load()
+}
+
+// Write atomically writes processor p's local register index.
+func (sm *SharedMemory) Write(p, local int, w anonmem.Word) {
+	sm.cells[sm.perms[p][local]].Store(&w)
+}
+
+// Snapshot returns the current contents (not atomic across registers;
+// inspection only).
+func (sm *SharedMemory) Snapshot() []anonmem.Word {
+	out := make([]anonmem.Word, len(sm.cells))
+	for i := range sm.cells {
+		out[i] = *sm.cells[i].Load()
+	}
+	return out
+}
+
+// Config configures a concurrent run.
+type Config struct {
+	// Registers is M. Required.
+	Registers int
+	// Wirings is one permutation per processor; nil means identity.
+	Wirings [][]int
+	// Initial is the initial register word. Required.
+	Initial anonmem.Word
+	// MaxStepsPerProc bounds each processor's steps; 0 means run until the
+	// machine terminates (do not use 0 with non-terminating machines).
+	MaxStepsPerProc int
+	// Seed seeds the per-processor choice of nondeterministic pending
+	// operations (machines built with nondet expose several).
+	Seed int64
+	// Yield makes every processor yield to the Go scheduler between steps,
+	// increasing interleaving diversity on few-core machines.
+	Yield bool
+}
+
+// Outcome reports a concurrent run.
+type Outcome struct {
+	// Outputs[p] is processor p's output word, nil if it did not finish.
+	Outputs []anonmem.Word
+	// Done[p] reports whether processor p terminated.
+	Done []bool
+	// Steps[p] counts processor p's executed operations.
+	Steps []int
+	// Memory is the register file, for post-run inspection.
+	Memory *SharedMemory
+}
+
+// Run executes one goroutine per machine until every machine terminates or
+// exhausts its step budget.
+func Run(cfg Config, machines []machine.Machine) (*Outcome, error) {
+	n := len(machines)
+	if n == 0 {
+		return nil, fmt.Errorf("runtime: no machines")
+	}
+	if cfg.Registers <= 0 {
+		return nil, fmt.Errorf("runtime: register count %d", cfg.Registers)
+	}
+	if cfg.Initial == nil {
+		return nil, fmt.Errorf("runtime: nil initial word")
+	}
+	perms := cfg.Wirings
+	if perms == nil {
+		perms = anonmem.IdentityWirings(n, cfg.Registers)
+	}
+	if len(perms) != n {
+		return nil, fmt.Errorf("runtime: %d wirings for %d machines", len(perms), n)
+	}
+	sm, err := NewSharedMemory(cfg.Registers, cfg.Initial, perms)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Outputs: make([]anonmem.Word, n),
+		Done:    make([]bool, n),
+		Steps:   make([]int, n),
+		Memory:  sm,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*1_000_003))
+			m := machines[p]
+			steps := 0
+			for {
+				ops := m.Pending()
+				if len(ops) == 0 {
+					out.Done[p] = true
+					out.Outputs[p] = m.Output()
+					break
+				}
+				if cfg.MaxStepsPerProc > 0 && steps >= cfg.MaxStepsPerProc {
+					break
+				}
+				choice := 0
+				if len(ops) > 1 {
+					choice = rng.Intn(len(ops))
+				}
+				op := ops[choice]
+				switch op.Kind {
+				case machine.OpRead:
+					m.Advance(choice, sm.Read(p, op.Reg))
+				case machine.OpWrite:
+					sm.Write(p, op.Reg, op.Word)
+					m.Advance(choice, nil)
+				case machine.OpOutput:
+					m.Advance(choice, nil)
+				default:
+					errs[p] = fmt.Errorf("runtime: processor %d: invalid op kind %v", p, op.Kind)
+					return
+				}
+				steps++
+				if cfg.Yield {
+					goruntime.Gosched()
+				}
+			}
+			out.Steps[p] = steps
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("runtime: processor %d failed: %w", p, err)
+		}
+	}
+	return out, nil
+}

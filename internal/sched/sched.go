@@ -1,0 +1,307 @@
+// Package sched provides step-level schedulers for fully-anonymous systems.
+//
+// In the model of the paper, processors take steps asynchronously: an
+// execution is just an infinite sequence of steps chosen by an adversary.
+// A Scheduler mechanizes the adversary. The package includes fair
+// schedulers (round-robin, seeded random), sequential ones (solo runs for
+// obstruction-freedom), exact scripts (to replay Figure 2), and heuristic
+// covering adversaries that try to make processors overwrite each other.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anonshm/internal/machine"
+)
+
+// Scheduler picks the next step of an execution.
+type Scheduler interface {
+	// Next returns the processor to step next and which of its pending
+	// choices to take. Returning proc < 0 stops the run. Next must return
+	// an enabled processor and a valid choice index.
+	Next(sys *machine.System, t int) (proc, choice int)
+}
+
+// Observer is notified after every executed step. Observers must not
+// mutate the system.
+type Observer interface {
+	OnStep(t int, info machine.StepInfo, sys *machine.System)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(t int, info machine.StepInfo, sys *machine.System)
+
+// OnStep implements Observer.
+func (f ObserverFunc) OnStep(t int, info machine.StepInfo, sys *machine.System) {
+	f(t, info, sys)
+}
+
+// StopReason says why a run ended.
+type StopReason uint8
+
+const (
+	// StopAllDone means every machine terminated.
+	StopAllDone StopReason = iota + 1
+	// StopMaxSteps means the step budget was exhausted.
+	StopMaxSteps
+	// StopScheduler means the scheduler returned proc < 0.
+	StopScheduler
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopAllDone:
+		return "all-done"
+	case StopMaxSteps:
+		return "max-steps"
+	case StopScheduler:
+		return "scheduler-stopped"
+	default:
+		return fmt.Sprintf("StopReason(%d)", uint8(r))
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	Steps  int
+	Reason StopReason
+}
+
+// Run drives sys under s for at most maxSteps steps, reporting each step to
+// obs (which may be nil). It stops early when all machines terminate or the
+// scheduler stops.
+func Run(sys *machine.System, s Scheduler, maxSteps int, obs Observer) (Result, error) {
+	for t := 0; t < maxSteps; t++ {
+		if sys.AllDone() {
+			return Result{Steps: t, Reason: StopAllDone}, nil
+		}
+		p, c := s.Next(sys, t)
+		if p < 0 {
+			return Result{Steps: t, Reason: StopScheduler}, nil
+		}
+		info, err := sys.Step(p, c)
+		if err != nil {
+			return Result{Steps: t}, fmt.Errorf("sched: step %d: %w", t, err)
+		}
+		if obs != nil {
+			obs.OnStep(t, info, sys)
+		}
+	}
+	if sys.AllDone() {
+		return Result{Steps: maxSteps, Reason: StopAllDone}, nil
+	}
+	return Result{Steps: maxSteps, Reason: StopMaxSteps}, nil
+}
+
+// RoundRobin schedules enabled processors cyclically, giving a fair
+// execution. The zero value starts at processor 0.
+type RoundRobin struct {
+	next int
+}
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(sys *machine.System, _ int) (int, int) {
+	n := sys.N()
+	for i := 0; i < n; i++ {
+		p := (r.next + i) % n
+		if sys.Enabled(p) {
+			r.next = (p + 1) % n
+			return p, 0
+		}
+	}
+	return -1, 0
+}
+
+// Random schedules uniformly among enabled processors; with ChoiceRandom it
+// also picks uniformly among a machine's pending nondeterministic choices.
+type Random struct {
+	Rng          *rand.Rand
+	ChoiceRandom bool
+}
+
+// NewRandom returns a Random scheduler seeded with seed.
+func NewRandom(seed int64) *Random {
+	return &Random{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (r *Random) Next(sys *machine.System, _ int) (int, int) {
+	var enabled []int
+	for p := 0; p < sys.N(); p++ {
+		if sys.Enabled(p) {
+			enabled = append(enabled, p)
+		}
+	}
+	if len(enabled) == 0 {
+		return -1, 0
+	}
+	p := enabled[r.Rng.Intn(len(enabled))]
+	c := 0
+	if r.ChoiceRandom {
+		if k := len(sys.Procs[p].Pending()); k > 1 {
+			c = r.Rng.Intn(k)
+		}
+	}
+	return p, c
+}
+
+// Solo runs processors to completion one at a time in the given order.
+// It demonstrates obstruction-freedom: a processor that runs solo long
+// enough must terminate.
+type Solo struct {
+	Order []int
+	idx   int
+}
+
+// NewSolo returns a Solo scheduler for the order 0..n-1.
+func NewSolo(n int) *Solo {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return &Solo{Order: order}
+}
+
+// Next implements Scheduler.
+func (s *Solo) Next(sys *machine.System, _ int) (int, int) {
+	for s.idx < len(s.Order) {
+		p := s.Order[s.idx]
+		if sys.Enabled(p) {
+			return p, 0
+		}
+		s.idx++
+	}
+	return -1, 0
+}
+
+// Scripted replays an exact sequence of (processor, choice) steps and then
+// stops. It is how the Figure 2 execution is reproduced literally.
+type Scripted struct {
+	Script []Step
+	idx    int
+}
+
+// Step is one scripted step.
+type Step struct {
+	Proc   int
+	Choice int
+}
+
+// Procs builds a script of default-choice steps from processor indices.
+func Procs(ps ...int) []Step {
+	steps := make([]Step, len(ps))
+	for i, p := range ps {
+		steps[i] = Step{Proc: p}
+	}
+	return steps
+}
+
+// Next implements Scheduler.
+func (s *Scripted) Next(_ *machine.System, _ int) (int, int) {
+	if s.idx >= len(s.Script) {
+		return -1, 0
+	}
+	st := s.Script[s.idx]
+	s.idx++
+	return st.Proc, st.Choice
+}
+
+// Remaining returns how many scripted steps are left.
+func (s *Scripted) Remaining() int { return len(s.Script) - s.idx }
+
+// Seq runs each scheduler for its step budget, then moves to the next.
+// A budget < 0 means "until that scheduler stops". Seq is how adversarial
+// prefixes compose with solo suffixes when testing obstruction-freedom.
+type Seq struct {
+	Phases []Phase
+	idx    int
+	used   int
+}
+
+// Phase pairs a scheduler with a step budget.
+type Phase struct {
+	S     Scheduler
+	Steps int // <0: run until the scheduler stops
+}
+
+// Next implements Scheduler.
+func (q *Seq) Next(sys *machine.System, t int) (int, int) {
+	for q.idx < len(q.Phases) {
+		ph := q.Phases[q.idx]
+		if ph.Steps >= 0 && q.used >= ph.Steps {
+			q.idx++
+			q.used = 0
+			continue
+		}
+		p, c := ph.S.Next(sys, t)
+		if p < 0 {
+			q.idx++
+			q.used = 0
+			continue
+		}
+		q.used++
+		return p, c
+	}
+	return -1, 0
+}
+
+// Coverer is a heuristic covering adversary: it prefers to step a
+// processor whose next operation overwrites a register that currently
+// holds different contents — maximizing erasure of information, the
+// central difficulty of the fully-anonymous model. Ties break by a
+// rotating index so that the adversary stays fair enough to keep the run
+// moving; reads are scheduled only when no destructive write is pending.
+type Coverer struct {
+	Rng  *rand.Rand // optional; breaks ties randomly when set
+	next int
+}
+
+// Next implements Scheduler.
+func (cv *Coverer) Next(sys *machine.System, _ int) (int, int) {
+	n := sys.N()
+	bestP, bestScore := -1, -1
+	for i := 0; i < n; i++ {
+		p := (cv.next + i) % n
+		if !sys.Enabled(p) {
+			continue
+		}
+		op := sys.Procs[p].Pending()[0]
+		score := 0
+		switch op.Kind {
+		case machine.OpWrite:
+			g := sys.Mem.Global(p, op.Reg)
+			cur := sys.Mem.CellAt(g)
+			if cur.Key() != op.Word.Key() {
+				score = 3 // destructive overwrite
+			} else {
+				score = 1
+			}
+			if sys.Mem.LastWriterAt(g) != p && sys.Mem.LastWriterAt(g) >= 0 {
+				score++ // erases someone else's write
+			}
+		case machine.OpRead:
+			score = 0
+		case machine.OpOutput:
+			score = 2 // let finished processors leave: keeps pressure on the rest
+		}
+		if score > bestScore {
+			bestScore, bestP = score, p
+		}
+	}
+	if bestP < 0 {
+		return -1, 0
+	}
+	cv.next = (bestP + 1) % n
+	return bestP, 0
+}
+
+var (
+	_ Scheduler = (*RoundRobin)(nil)
+	_ Scheduler = (*Random)(nil)
+	_ Scheduler = (*Solo)(nil)
+	_ Scheduler = (*Scripted)(nil)
+	_ Scheduler = (*Seq)(nil)
+	_ Scheduler = (*Coverer)(nil)
+)

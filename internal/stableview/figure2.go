@@ -1,0 +1,202 @@
+package stableview
+
+import (
+	"fmt"
+
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/view"
+)
+
+// This file constructs the pathological infinite execution of Section 4.1
+// (Figure 2) literally: three processors with inputs 1, 2, 3 over three
+// registers, wired and scheduled so that p2 and p3 keep writing the
+// incomparable views {1,2} and {1,3} forever while p1 keeps erasing them,
+// and — in the extended five-processor variant — two shadow processors p
+// and p' with input 1 that read only {1,2} and only {1,3} respectively,
+// ad infinitum, without perturbing the base execution.
+//
+// The wiring that realizes the paper's table with the deterministic
+// lowest-local-index write order is: p1 writes registers in the order
+// r2, r3, r1 (wiring [1,2,0]); p2 and p3 use the identity wiring (order
+// r1, r2, r3). One macro-row of the paper's table is one write followed
+// by a full scan (1+3 machine steps).
+
+// Figure2Inputs are the base processors' inputs, in processor order.
+var Figure2Inputs = []string{"1", "2", "3"}
+
+// figure2Wirings returns the base wirings; extra shadow processors (if
+// any) use p1's wiring so their scan order is r2, r3, r1.
+func figure2Wirings(shadows int) [][]int {
+	w := [][]int{{1, 2, 0}, {0, 1, 2}, {0, 1, 2}}
+	for i := 0; i < shadows; i++ {
+		w = append(w, []int{1, 2, 0})
+	}
+	return w
+}
+
+// iter returns one macro-iteration of processor p: one write followed by a
+// full scan of m registers.
+func iter(p, m int) []sched.Step {
+	steps := make([]sched.Step, 0, m+1)
+	for i := 0; i <= m; i++ {
+		steps = append(steps, sched.Step{Proc: p})
+	}
+	return steps
+}
+
+func concat(blocks ...[]sched.Step) []sched.Step {
+	var out []sched.Step
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Figure2Prefix is the schedule of rows 1–4 of the table (row 1 is two
+// macro-iterations of p1).
+func Figure2Prefix() []sched.Step {
+	return concat(iter(0, 3), iter(0, 3), iter(1, 3), iter(2, 3), iter(0, 3))
+}
+
+// Figure2Cycle is the schedule of rows 5–13, which repeats forever.
+func Figure2Cycle() []sched.Step {
+	return concat(
+		iter(1, 3), iter(2, 3), iter(0, 3),
+		iter(1, 3), iter(2, 3), iter(0, 3),
+		iter(1, 3), iter(2, 3), iter(0, 3),
+	)
+}
+
+// Figure2System builds the three-processor write-scan system of Figure 2.
+func Figure2System() (*machine.System, *view.Interner, error) {
+	return core.NewWriteScanSystem(core.Config{
+		Inputs:  Figure2Inputs,
+		Wirings: figure2Wirings(0),
+	})
+}
+
+// Figure2Row is the expected post-state of one macro-row of the table.
+type Figure2Row struct {
+	Action    string
+	Registers []string // rendered views of r1, r2, r3
+	Views     []string // rendered views of p1, p2, p3
+}
+
+// Figure2Rows returns the thirteen rows of the paper's table.
+func Figure2Rows() []Figure2Row {
+	rows := []Figure2Row{
+		{"p1 writes twice and ends with a scan", []string{"{}", "{1}", "{1}"}, []string{"{1}", "{2}", "{3}"}},
+		{"p2 writes then scans", []string{"{2}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{3}"}},
+		{"p3 overwrites p2 then scans", []string{"{3}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p1 overwrites p3 then scans", []string{"{1}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p2 writes then scans", []string{"{1}", "{1,2}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p3 overwrites p2 then scans", []string{"{1}", "{1,3}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p1 overwrites p3 then scans", []string{"{1}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p2 writes then scans", []string{"{1}", "{1}", "{1,2}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p3 overwrites p2 then scans", []string{"{1}", "{1}", "{1,3}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p1 overwrites p3 then scans", []string{"{1}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p2 writes then scans", []string{"{1,2}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p3 overwrites p2 then scans", []string{"{1,3}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+		{"p1 overwrites p3 then scans (same as 4)", []string{"{1}", "{1}", "{1}"}, []string{"{1}", "{1,2}", "{1,3}"}},
+	}
+	return rows
+}
+
+// Figure2Macro returns the macro schedule row by row: row i is executed by
+// the steps of Figure2Macro()[i].
+func Figure2Macro() [][]sched.Step {
+	return [][]sched.Step{
+		concat(iter(0, 3), iter(0, 3)),
+		iter(1, 3), iter(2, 3), iter(0, 3),
+		iter(1, 3), iter(2, 3), iter(0, 3),
+		iter(1, 3), iter(2, 3), iter(0, 3),
+		iter(1, 3), iter(2, 3), iter(0, 3),
+	}
+}
+
+// ShadowSpec describes one shadow processor of the five-processor variant:
+// it only ever reads registers whose content is exactly Allowed, and only
+// writes over identical contents, so it never perturbs the base execution.
+type ShadowSpec struct {
+	Proc    int
+	Allowed view.View
+}
+
+// ShadowHook returns a Hook weaving the shadow processors into a lasso:
+// after every base step, each shadow takes every currently safe step.
+// A read is safe only when the register holds exactly the shadow's
+// allowed view (the paper's "p reads {1,2} each time p2 writes it");
+// otherwise the shadow simply waits, which the asynchronous model permits.
+// A write is safe when it would not change the register's contents ("p
+// writes {1,2} immediately after p2 writes it, to the same register") —
+// this covers the shadow's very first write of its singleton view, which
+// fires over an identical singleton left by p1.
+func ShadowHook(shadows []ShadowSpec) Hook {
+	return func(sys *machine.System) ([]int, error) {
+		var stepped []int
+		for guard := 0; ; guard++ {
+			if guard > 64 {
+				return nil, fmt.Errorf("shadow hook did not quiesce")
+			}
+			progress := false
+			for _, sh := range shadows {
+				m := sys.Procs[sh.Proc]
+				if m.Done() {
+					continue
+				}
+				op := m.Pending()[0]
+				safe := false
+				switch op.Kind {
+				case machine.OpRead:
+					g := sys.Mem.Global(sh.Proc, op.Reg)
+					cell, ok := sys.Mem.CellAt(g).(core.Cell)
+					if !ok {
+						return nil, fmt.Errorf("shadow hook: register %d holds %T", g, sys.Mem.CellAt(g))
+					}
+					safe = cell.View.Equal(sh.Allowed)
+				case machine.OpWrite:
+					g := sys.Mem.Global(sh.Proc, op.Reg)
+					safe = sys.Mem.CellAt(g).Key() == op.Word.Key()
+				case machine.OpOutput:
+					safe = true
+				}
+				if safe {
+					if _, err := sys.Step(sh.Proc, 0); err != nil {
+						return nil, err
+					}
+					stepped = append(stepped, sh.Proc)
+					progress = true
+				}
+			}
+			if !progress {
+				return stepped, nil
+			}
+		}
+	}
+}
+
+// Figure2WithShadows builds the five-processor variant: the base system
+// plus shadows p (processor 3, input 1, allowed view {1,2}) and p'
+// (processor 4, input 1, allowed view {1,3}).
+func Figure2WithShadows() (*machine.System, *view.Interner, Hook, error) {
+	sys, in, err := core.NewWriteScanSystem(core.Config{
+		Inputs:  append(append([]string{}, Figure2Inputs...), "1", "1"),
+		Wirings: figure2Wirings(2),
+		// Three registers, five processors: M < N is fine for the
+		// write-scan loop (only the snapshot algorithm needs M = N).
+		Registers: 3,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	id1, _ := in.Lookup("1")
+	id2, _ := in.Lookup("2")
+	id3, _ := in.Lookup("3")
+	hook := ShadowHook([]ShadowSpec{
+		{Proc: 3, Allowed: view.Of(id1, id2)},
+		{Proc: 4, Allowed: view.Of(id1, id3)},
+	})
+	return sys, in, hook, nil
+}

@@ -1,0 +1,292 @@
+// Package stableview mechanizes Section 4 of the paper: the eventual
+// pattern of infinite executions of the write-scan loop.
+//
+// In an infinite execution, each live processor's view is monotone and
+// bounded, so there is a global stabilization time (GST, Definition 4.1)
+// after which no view changes. The views held after GST are the stable
+// views (Definition 4.2), and Theorem 4.8 states they form a directed
+// acyclic graph — edges are proper containment — with a unique source.
+//
+// Infinite executions are mechanized as lassos: a finite prefix followed
+// by a cycle repeated forever. Because machines and schedulers here are
+// deterministic, a recurrence of the global state at the same scheduler
+// phase proves the execution extends periodically ad infinitum, which
+// makes "view is stable" a theorem about the run rather than a heuristic.
+package stableview
+
+import (
+	"fmt"
+
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/sched"
+	"anonshm/internal/view"
+)
+
+// Result describes a stabilized execution.
+type Result struct {
+	// Live lists the processors that keep taking steps forever.
+	Live []int
+	// StableViews holds the stable view of each live processor, aligned
+	// with Live.
+	StableViews []view.View
+	// GST is the step index at which the recurring global state was first
+	// seen; all views are provably stable from GST on.
+	GST int
+	// Steps is the total number of steps executed before recurrence.
+	Steps int
+}
+
+// Graph is the stable-view graph of Definition 4.3: vertices are the
+// distinct stable views; there is an edge V1 → V2 iff V1 ⊂ V2.
+type Graph struct {
+	// Vertices holds the distinct stable views.
+	Vertices []view.View
+	// Edges[i] lists the vertex indices j with Vertices[i] ⊂ Vertices[j].
+	Edges [][]int
+	// Holders[i] lists the live processors whose stable view is
+	// Vertices[i].
+	Holders [][]int
+}
+
+// RunToStability steps the given live processors in round-robin order
+// until the global state recurs at a round boundary, proving the
+// round-robin extension repeats forever. It returns the stable views.
+// Processors outside live never take another step (they are the non-live
+// processors of Definition 4.1; their last writes may persist until
+// overwritten).
+//
+// It returns an error if no recurrence happens within maxSteps, if live is
+// empty, or if a live machine terminates (the write-scan loop never does;
+// use lassos for machines that can).
+func RunToStability(sys *machine.System, live []int, maxSteps int) (Result, error) {
+	if len(live) == 0 {
+		return Result{}, fmt.Errorf("stableview: no live processors")
+	}
+	for _, p := range live {
+		if p < 0 || p >= sys.N() {
+			return Result{}, fmt.Errorf("stableview: live processor %d out of range", p)
+		}
+	}
+	seen := make(map[string]int)
+	for t := 0; t <= maxSteps; t++ {
+		if t%len(live) == 0 {
+			key := sys.Key()
+			if first, ok := seen[key]; ok {
+				return result(sys, live, first, t), nil
+			}
+			seen[key] = t
+		}
+		if t == maxSteps {
+			break
+		}
+		p := live[t%len(live)]
+		if !sys.Enabled(p) {
+			return Result{}, fmt.Errorf("stableview: live processor %d terminated", p)
+		}
+		if _, err := sys.Step(p, 0); err != nil {
+			return Result{}, fmt.Errorf("stableview: %w", err)
+		}
+	}
+	return Result{}, fmt.Errorf("stableview: no recurrence within %d steps", maxSteps)
+}
+
+// Hook runs after every scripted step of a lasso; it may take additional
+// deterministic steps on the system (e.g. weave in the "shadow" processors
+// of Section 4.1 without perturbing the base execution). It returns the
+// processors it stepped.
+type Hook func(sys *machine.System) ([]int, error)
+
+// RunLasso executes the prefix script once and then repeats the cycle
+// script until the global state recurs at a cycle boundary, proving the
+// infinite execution prefix·cycle^ω stabilizes. After every scripted step,
+// the optional hook may take further steps. The live processors are those
+// that took at least one step within the recurring window. It returns an
+// error if the state does not recur within maxCycles repetitions.
+func RunLasso(sys *machine.System, prefix, cycle []sched.Step, hook Hook, maxCycles int) (Result, error) {
+	if len(cycle) == 0 {
+		return Result{}, fmt.Errorf("stableview: empty cycle")
+	}
+	steps := 0
+	counts := make([]int, sys.N())
+	runScript := func(script []sched.Step) error {
+		for _, st := range script {
+			if _, err := sys.Step(st.Proc, st.Choice); err != nil {
+				return err
+			}
+			counts[st.Proc]++
+			steps++
+			if hook != nil {
+				stepped, err := hook(sys)
+				if err != nil {
+					return fmt.Errorf("hook: %w", err)
+				}
+				for _, p := range stepped {
+					counts[p]++
+					steps++
+				}
+			}
+		}
+		return nil
+	}
+	if err := runScript(prefix); err != nil {
+		return Result{}, fmt.Errorf("stableview: prefix: %w", err)
+	}
+	type boundary struct {
+		steps  int
+		counts []int
+	}
+	seen := map[string]boundary{
+		sys.Key(): {steps: steps, counts: append([]int(nil), counts...)},
+	}
+	for c := 0; c < maxCycles; c++ {
+		if err := runScript(cycle); err != nil {
+			return Result{}, fmt.Errorf("stableview: cycle %d: %w", c, err)
+		}
+		key := sys.Key()
+		if first, ok := seen[key]; ok {
+			var live []int
+			for p := 0; p < sys.N(); p++ {
+				if counts[p] > first.counts[p] {
+					live = append(live, p)
+				}
+			}
+			if len(live) == 0 {
+				return Result{}, fmt.Errorf("stableview: recurring window contains no steps")
+			}
+			return result(sys, live, first.steps, steps), nil
+		}
+		seen[key] = boundary{steps: steps, counts: append([]int(nil), counts...)}
+	}
+	return Result{}, fmt.Errorf("stableview: no recurrence within %d cycles", maxCycles)
+}
+
+func result(sys *machine.System, live []int, gst, steps int) Result {
+	res := Result{Live: append([]int(nil), live...), GST: gst, Steps: steps}
+	res.StableViews = make([]view.View, len(live))
+	for i, p := range live {
+		viewer, ok := sys.Procs[p].(core.Viewer)
+		if !ok {
+			panic(fmt.Sprintf("stableview: processor %d does not expose a view", p))
+		}
+		res.StableViews[i] = viewer.View()
+	}
+	return res
+}
+
+// BuildGraph deduplicates the stable views and builds the stable-view
+// graph of Definition 4.3.
+func BuildGraph(res Result) *Graph {
+	g := &Graph{}
+	index := make(map[string]int)
+	for i, v := range res.StableViews {
+		k := v.Key()
+		idx, ok := index[k]
+		if !ok {
+			idx = len(g.Vertices)
+			index[k] = idx
+			g.Vertices = append(g.Vertices, v)
+			g.Holders = append(g.Holders, nil)
+		}
+		g.Holders[idx] = append(g.Holders[idx], res.Live[i])
+	}
+	g.Edges = make([][]int, len(g.Vertices))
+	for i, vi := range g.Vertices {
+		for j, vj := range g.Vertices {
+			if i != j && vi.ProperSubsetOf(vj) {
+				g.Edges[i] = append(g.Edges[i], j)
+			}
+		}
+	}
+	return g
+}
+
+// Sources returns the indices of vertices with no incoming edge.
+func (g *Graph) Sources() []int {
+	incoming := make([]bool, len(g.Vertices))
+	for _, outs := range g.Edges {
+		for _, j := range outs {
+			incoming[j] = true
+		}
+	}
+	var srcs []int
+	for i, in := range incoming {
+		if !in {
+			srcs = append(srcs, i)
+		}
+	}
+	return srcs
+}
+
+// UniqueSource reports whether the graph has exactly one source — the
+// statement of Theorem 4.8 — and returns it.
+func (g *Graph) UniqueSource() (view.View, bool) {
+	srcs := g.Sources()
+	if len(srcs) != 1 {
+		return view.View{}, false
+	}
+	return g.Vertices[srcs[0]], true
+}
+
+// IsDAG verifies acyclicity explicitly (it holds by irreflexivity and
+// transitivity of ⊂; the check guards the implementation).
+func (g *Graph) IsDAG() bool {
+	const (
+		unvisited = iota
+		inStack
+		done
+	)
+	state := make([]int, len(g.Vertices))
+	var visit func(i int) bool
+	visit = func(i int) bool {
+		state[i] = inStack
+		for _, j := range g.Edges[i] {
+			switch state[j] {
+			case inStack:
+				return false
+			case unvisited:
+				if !visit(j) {
+					return false
+				}
+			}
+		}
+		state[i] = done
+		return true
+	}
+	for i := range g.Vertices {
+		if state[i] == unvisited && !visit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the graph with labels from in, e.g. for experiment
+// output: "{1} -> {1,2}; {1} -> {1,3}".
+func (g *Graph) Format(in *view.Interner) string {
+	if len(g.Vertices) == 0 {
+		return "(empty)"
+	}
+	out := ""
+	for i, v := range g.Vertices {
+		if len(g.Edges[i]) == 0 {
+			continue
+		}
+		for _, j := range g.Edges[i] {
+			if out != "" {
+				out += "; "
+			}
+			out += v.Format(in) + " -> " + g.Vertices[j].Format(in)
+		}
+	}
+	if out == "" {
+		// No edges: list isolated vertices.
+		for i, v := range g.Vertices {
+			if i > 0 {
+				out += "; "
+			}
+			out += v.Format(in)
+		}
+	}
+	return out
+}

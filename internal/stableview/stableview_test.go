@@ -1,0 +1,307 @@
+package stableview
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/view"
+)
+
+func TestRunToStabilitySingleProcessor(t *testing.T) {
+	sys, in, err := core.NewWriteScanSystem(core.Config{Inputs: []string{"a"}, Registers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunToStability(sys, []int{0}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StableViews) != 1 {
+		t.Fatalf("stable views = %v", res.StableViews)
+	}
+	id, _ := in.Lookup("a")
+	if !res.StableViews[0].Equal(view.Of(id)) {
+		t.Errorf("stable view = %s", res.StableViews[0].Format(in))
+	}
+	g := BuildGraph(res)
+	if _, ok := g.UniqueSource(); !ok {
+		t.Error("no unique source")
+	}
+}
+
+func TestRunToStabilityValidation(t *testing.T) {
+	sys, _, err := core.NewWriteScanSystem(core.Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunToStability(sys, nil, 100); err == nil {
+		t.Error("empty live accepted")
+	}
+	if _, err := RunToStability(sys, []int{5}, 100); err == nil {
+		t.Error("out-of-range live accepted")
+	}
+	if _, err := RunToStability(sys, []int{0, 1}, 3); err == nil {
+		t.Error("impossible budget succeeded")
+	}
+}
+
+func TestRunToStabilityLiveSubset(t *testing.T) {
+	// p2 is not live: it takes no steps at all. The stable views of the
+	// live processors must still form a single-source DAG.
+	sys, in, err := core.NewWriteScanSystem(core.Config{
+		Inputs:  []string{"a", "b", "c"},
+		Wirings: anonmem.RotationWirings(3, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunToStability(sys, []int{0, 2}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Live) != 2 || res.Live[0] != 0 || res.Live[1] != 2 {
+		t.Errorf("live = %v", res.Live)
+	}
+	g := BuildGraph(res)
+	if !g.IsDAG() {
+		t.Error("not a DAG")
+	}
+	if _, ok := g.UniqueSource(); !ok {
+		t.Errorf("sources = %v (%s)", g.Sources(), g.Format(in))
+	}
+}
+
+// TestTheorem48RandomConfigurations is the empirical side of E2: across
+// many wirings, system sizes and live sets, the stable views of a
+// round-robin infinite execution (proven periodic by state recurrence)
+// always form a DAG with a unique source.
+func TestTheorem48RandomConfigurations(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		inputs := make([]string, n)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("v%d", rng.Intn(n)) // duplicates allowed
+		}
+		sys, in, err := core.NewWriteScanSystem(core.Config{
+			Inputs:    inputs,
+			Registers: m,
+			Wirings:   anonmem.RandomWirings(rng, n, m),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random nonempty live subset.
+		var live []int
+		for p := 0; p < n; p++ {
+			if rng.Intn(2) == 0 {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			live = append(live, rng.Intn(n))
+		}
+		res, err := RunToStability(sys, live, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d (n=%d m=%d live=%v): %v", seed, n, m, live, err)
+		}
+		g := BuildGraph(res)
+		if !g.IsDAG() {
+			t.Errorf("seed %d: stable-view graph has a cycle", seed)
+		}
+		if src, ok := g.UniqueSource(); !ok {
+			t.Errorf("seed %d: %d sources: %s", seed, len(g.Sources()), g.Format(in))
+		} else {
+			// The source must be a lower bound of every stable view.
+			for _, v := range g.Vertices {
+				if !src.SubsetOf(v) {
+					t.Errorf("seed %d: source %s not ⊆ %s", seed, src.Format(in), v.Format(in))
+				}
+			}
+		}
+	}
+}
+
+func TestFigure2BaseLasso(t *testing.T) {
+	sys, in, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLasso(sys, Figure2Prefix(), Figure2Cycle(), nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recurrence must be detected after exactly one cycle: row 13's state
+	// equals row 4's.
+	if res.Steps != len(Figure2Prefix())+len(Figure2Cycle()) {
+		t.Errorf("steps = %d, want %d", res.Steps, len(Figure2Prefix())+len(Figure2Cycle()))
+	}
+	want := map[int]string{0: "{1}", 1: "{1,2}", 2: "{1,3}"}
+	for i, p := range res.Live {
+		if got := res.StableViews[i].Format(in); got != want[p] {
+			t.Errorf("p%d stable view = %s, want %s", p+1, got, want[p])
+		}
+	}
+	g := BuildGraph(res)
+	src, ok := g.UniqueSource()
+	if !ok {
+		t.Fatalf("sources = %v", g.Sources())
+	}
+	if src.Format(in) != "{1}" {
+		t.Errorf("source = %s, want {1}", src.Format(in))
+	}
+	if len(g.Vertices) != 3 {
+		t.Errorf("vertices = %d, want 3", len(g.Vertices))
+	}
+	// Edges: {1}→{1,2} and {1}→{1,3} only.
+	edgeCount := 0
+	for _, outs := range g.Edges {
+		edgeCount += len(outs)
+	}
+	if edgeCount != 2 {
+		t.Errorf("edges = %d, want 2 (%s)", edgeCount, g.Format(in))
+	}
+}
+
+func TestFigure2RowsMatchPaper(t *testing.T) {
+	sys, in, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Figure2Rows()
+	macro := Figure2Macro()
+	if len(rows) != len(macro) {
+		t.Fatalf("rows %d vs macro %d", len(rows), len(macro))
+	}
+	for i, block := range macro {
+		for _, st := range block {
+			if _, err := sys.Step(st.Proc, st.Choice); err != nil {
+				t.Fatalf("row %d: %v", i+1, err)
+			}
+		}
+		for r := 0; r < 3; r++ {
+			cell := sys.Mem.CellAt(r).(core.Cell)
+			if got := cell.View.Format(in); got != rows[i].Registers[r] {
+				t.Errorf("row %d: r%d = %s, want %s", i+1, r+1, got, rows[i].Registers[r])
+			}
+		}
+		for p := 0; p < 3; p++ {
+			v := sys.Procs[p].(core.Viewer).View()
+			if got := v.Format(in); got != rows[i].Views[p] {
+				t.Errorf("row %d: view[p%d] = %s, want %s", i+1, p+1, got, rows[i].Views[p])
+			}
+		}
+	}
+}
+
+func TestFigure2WithShadows(t *testing.T) {
+	sys, in, hook, err := Figure2WithShadows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLasso(sys, Figure2Prefix(), Figure2Cycle(), hook, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Live) != 5 {
+		t.Fatalf("live = %v, want all five processors", res.Live)
+	}
+	byProc := make(map[int]string)
+	for i, p := range res.Live {
+		byProc[p] = res.StableViews[i].Format(in)
+	}
+	want := map[int]string{0: "{1}", 1: "{1,2}", 2: "{1,3}", 3: "{1,2}", 4: "{1,3}"}
+	for p, w := range want {
+		if byProc[p] != w {
+			t.Errorf("p%d stable view = %s, want %s", p+1, byProc[p], w)
+		}
+	}
+	// The shadows' views {1,2} and {1,3} are incomparable — the paper's
+	// point: "read the same set in all registers forever" is not a valid
+	// termination rule.
+	v3 := res.StableViews[3]
+	v4 := res.StableViews[4]
+	if v3.ComparableWith(v4) {
+		t.Error("shadow views comparable; the pathology was not reproduced")
+	}
+	g := BuildGraph(res)
+	if src, ok := g.UniqueSource(); !ok || src.Format(in) != "{1}" {
+		t.Errorf("unique source = %v %v", src, ok)
+	}
+}
+
+func TestRunLassoValidation(t *testing.T) {
+	sys, _, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLasso(sys, nil, nil, nil, 10); err == nil {
+		t.Error("empty cycle accepted")
+	}
+	// A cycle that changes state monotonically forever never recurs.
+	sys2, _, _ := core.NewWriteScanSystem(core.Config{Inputs: []string{"a", "b"}})
+	grow := Figure2Cycle()[:4] // one iteration of p2 over... wrong size; build manually
+	_ = grow
+	if _, err := RunLasso(sys2, nil, iter(0, 2), nil, 0); err == nil {
+		t.Error("zero maxCycles succeeded")
+	}
+}
+
+func TestBuildGraphDuplicateViews(t *testing.T) {
+	res := Result{
+		Live:        []int{0, 1, 2},
+		StableViews: []view.View{view.Of(0), view.Of(0), view.Of(0, 1)},
+	}
+	g := BuildGraph(res)
+	if len(g.Vertices) != 2 {
+		t.Fatalf("vertices = %d", len(g.Vertices))
+	}
+	if len(g.Holders[0]) != 2 {
+		t.Errorf("holders of first view = %v", g.Holders[0])
+	}
+	if !g.IsDAG() {
+		t.Error("not a DAG")
+	}
+	if _, ok := g.UniqueSource(); !ok {
+		t.Error("no unique source")
+	}
+}
+
+func TestGraphMultipleSourcesDetected(t *testing.T) {
+	// Hand-built incomparable pair: two sources (this cannot arise from a
+	// real execution per Theorem 4.8, but the checker must detect it).
+	res := Result{
+		Live:        []int{0, 1},
+		StableViews: []view.View{view.Of(0), view.Of(1)},
+	}
+	g := BuildGraph(res)
+	if _, ok := g.UniqueSource(); ok {
+		t.Error("unique source reported for incomparable pair")
+	}
+	if len(g.Sources()) != 2 {
+		t.Errorf("sources = %v", g.Sources())
+	}
+}
+
+func TestGraphFormat(t *testing.T) {
+	in := view.NewInterner()
+	a := in.Intern("a")
+	b := in.Intern("b")
+	res := Result{Live: []int{0, 1}, StableViews: []view.View{view.Of(a), view.Of(a, b)}}
+	g := BuildGraph(res)
+	if got := g.Format(in); got != "{a} -> {a,b}" {
+		t.Errorf("Format = %q", got)
+	}
+	empty := &Graph{}
+	if empty.Format(in) != "(empty)" {
+		t.Error("empty format wrong")
+	}
+	iso := BuildGraph(Result{Live: []int{0}, StableViews: []view.View{view.Of(a)}})
+	if got := iso.Format(in); got != "{a}" {
+		t.Errorf("isolated format = %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+package tasks
+
+import "fmt"
+
+// Consensus-task checkers (Definition 3.1 lifted to groups): every output
+// sample must be a constant function whose value is a participating group
+// identifier. Equivalently: all outputs of participating processors are
+// equal and name a participating group.
+
+// ConsensusOutput is one processor's consensus decision.
+type ConsensusOutput struct {
+	// Value is the decided group label.
+	Value string
+	// Done reports whether the processor decided.
+	Done bool
+}
+
+func consensusParticipatingSet(e Execution) map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range e.ParticipatingGroups() {
+		set[g] = true
+	}
+	return set
+}
+
+// CheckGroupConsensus verifies group solvability of consensus with the
+// equivalent direct formulation: every participating processor decides
+// the same participating group identifier.
+func CheckGroupConsensus(e Execution, outs []ConsensusOutput) error {
+	if err := e.validate(len(outs)); err != nil {
+		return err
+	}
+	done := make([]bool, len(outs))
+	for i, o := range outs {
+		done[i] = o.Done
+	}
+	if _, err := e.groupMembers(done); err != nil {
+		return err
+	}
+	participating := consensusParticipatingSet(e)
+	decided := ""
+	first := -1
+	for p, o := range outs {
+		if !e.participated(p) {
+			continue
+		}
+		if !participating[o.Value] {
+			return fmt.Errorf("tasks: processor %d decided non-participating group %q", p, o.Value)
+		}
+		if first < 0 {
+			decided, first = o.Value, p
+		} else if o.Value != decided {
+			return fmt.Errorf("tasks: processors %d and %d decided differently: %q vs %q", first, p, decided, o.Value)
+		}
+	}
+	return nil
+}
+
+// CheckGroupConsensusBrute verifies group solvability by enumerating every
+// output sample of Definition 3.4: each must be a constant function onto a
+// participating group identifier.
+func CheckGroupConsensusBrute(e Execution, outs []ConsensusOutput) error {
+	if err := e.validate(len(outs)); err != nil {
+		return err
+	}
+	done := make([]bool, len(outs))
+	for i, o := range outs {
+		done[i] = o.Done
+	}
+	members, err := e.groupMembers(done)
+	if err != nil {
+		return err
+	}
+	participating := consensusParticipatingSet(e)
+	return forEachSample(members, func(rep map[string]int) error {
+		val, first := "", -1
+		for _, p := range rep {
+			if !participating[outs[p].Value] {
+				return fmt.Errorf("sample %v: non-participating decision %q", rep, outs[p].Value)
+			}
+			if first < 0 {
+				val, first = outs[p].Value, p
+			} else if outs[p].Value != val {
+				return fmt.Errorf("sample %v: non-constant decisions %q vs %q", rep, val, outs[p].Value)
+			}
+		}
+		return nil
+	})
+}

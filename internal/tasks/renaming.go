@@ -1,0 +1,87 @@
+package tasks
+
+import "fmt"
+
+// Adaptive-renaming checkers (Definition 3.3 lifted to groups): with n
+// participating groups, every output sample assigns distinct names in
+// 1..f(n). Equivalently: every name is in range, and processors of
+// different groups never share a name — same-group processors may
+// (Section 3.2: "processors in the same group are allowed to share a
+// name, but two processors from different groups cannot").
+
+// RenamingParam is the paper's parameter f(n) = n(n+1)/2 (Section 6).
+func RenamingParam(n int) int { return n * (n + 1) / 2 }
+
+// RenamingOutput is one processor's new name.
+type RenamingOutput struct {
+	// Name is the acquired name, ≥ 1.
+	Name int
+	// Done reports whether the processor acquired a name.
+	Done bool
+}
+
+// CheckGroupRenaming verifies group solvability of adaptive renaming with
+// parameter f using the equivalent pairwise formulation.
+func CheckGroupRenaming(e Execution, f func(int) int, outs []RenamingOutput) error {
+	if err := e.validate(len(outs)); err != nil {
+		return err
+	}
+	done := make([]bool, len(outs))
+	for i, o := range outs {
+		done[i] = o.Done
+	}
+	if _, err := e.groupMembers(done); err != nil {
+		return err
+	}
+	bound := f(len(e.ParticipatingGroups()))
+	for p, o := range outs {
+		if !e.participated(p) {
+			continue
+		}
+		if o.Name < 1 || o.Name > bound {
+			return fmt.Errorf("tasks: processor %d took name %d outside 1..%d", p, o.Name, bound)
+		}
+		for q := 0; q < p; q++ {
+			if !e.participated(q) || e.Groups[p] == e.Groups[q] {
+				continue
+			}
+			if outs[p].Name == outs[q].Name {
+				return fmt.Errorf("tasks: processors %d (group %s) and %d (group %s) share name %d across groups",
+					p, e.Groups[p], q, e.Groups[q], o.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckGroupRenamingBrute verifies group solvability by enumerating every
+// output sample of Definition 3.4: each must be a valid renaming (distinct
+// names in 1..f(n)).
+func CheckGroupRenamingBrute(e Execution, f func(int) int, outs []RenamingOutput) error {
+	if err := e.validate(len(outs)); err != nil {
+		return err
+	}
+	done := make([]bool, len(outs))
+	for i, o := range outs {
+		done[i] = o.Done
+	}
+	members, err := e.groupMembers(done)
+	if err != nil {
+		return err
+	}
+	bound := f(len(members))
+	return forEachSample(members, func(rep map[string]int) error {
+		used := make(map[int]string, len(rep))
+		for g, p := range rep {
+			name := outs[p].Name
+			if name < 1 || name > bound {
+				return fmt.Errorf("sample %v: name %d outside 1..%d", rep, name, bound)
+			}
+			if other, clash := used[name]; clash {
+				return fmt.Errorf("sample %v: groups %s and %s share name %d", rep, other, g, name)
+			}
+			used[name] = g
+		}
+		return nil
+	})
+}

@@ -1,0 +1,152 @@
+package tasks
+
+import (
+	"fmt"
+
+	"anonshm/internal/view"
+)
+
+// Snapshot-task checkers (Definition 3.2 lifted to groups per Section 3.2):
+// each processor outputs a set of participating group identifiers that
+// includes its own group, and for any choice of one representative per
+// participating group, the representatives' sets are related by
+// containment. Processors of the same group may return incomparable sets
+// — the Gafni example of Section 3.2 is a legal outcome.
+
+// SnapshotOutput is one processor's snapshot output as a set of group
+// labels.
+type SnapshotOutput struct {
+	// Set is the output view over IDs interned from group labels.
+	Set view.View
+	// Done reports whether the processor terminated (has an output).
+	Done bool
+}
+
+// SnapshotViews converts per-processor views into outputs.
+func SnapshotViews(outs []view.View, done []bool) []SnapshotOutput {
+	res := make([]SnapshotOutput, len(outs))
+	for i := range outs {
+		res[i] = SnapshotOutput{Set: outs[i], Done: done[i]}
+	}
+	return res
+}
+
+func snapshotUnary(e Execution, in *view.Interner, outs []SnapshotOutput, p int) error {
+	ownID, ok := in.Lookup(e.Groups[p])
+	if !ok {
+		return fmt.Errorf("tasks: group %q of processor %d not interned", e.Groups[p], p)
+	}
+	if !outs[p].Set.Contains(ownID) {
+		return fmt.Errorf("tasks: snapshot of processor %d (group %s) misses its own group: %s",
+			p, e.Groups[p], outs[p].Set.Format(in))
+	}
+	participating := view.Empty()
+	for q, g := range e.Groups {
+		if e.participated(q) {
+			id, ok := in.Lookup(g)
+			if !ok {
+				return fmt.Errorf("tasks: group %q not interned", g)
+			}
+			participating = participating.With(id)
+		}
+	}
+	if !outs[p].Set.SubsetOf(participating) {
+		return fmt.Errorf("tasks: snapshot of processor %d contains non-participating groups: %s ⊄ %s",
+			p, outs[p].Set.Format(in), participating.Format(in))
+	}
+	return nil
+}
+
+// CheckGroupSnapshot verifies group solvability of the snapshot task using
+// the equivalent pairwise formulation: every output includes its own group
+// and only participating groups, and outputs of processors from DIFFERENT
+// groups are related by containment.
+func CheckGroupSnapshot(e Execution, in *view.Interner, outs []SnapshotOutput) error {
+	if err := e.validate(len(outs)); err != nil {
+		return err
+	}
+	done := make([]bool, len(outs))
+	for i, o := range outs {
+		done[i] = o.Done
+	}
+	if _, err := e.groupMembers(done); err != nil {
+		return err
+	}
+	for p := range outs {
+		if !e.participated(p) {
+			continue
+		}
+		if err := snapshotUnary(e, in, outs, p); err != nil {
+			return err
+		}
+		for q := 0; q < p; q++ {
+			if !e.participated(q) || e.Groups[p] == e.Groups[q] {
+				continue
+			}
+			if !outs[p].Set.ComparableWith(outs[q].Set) {
+				return fmt.Errorf("tasks: snapshots of processors %d (group %s: %s) and %d (group %s: %s) incomparable across groups",
+					p, e.Groups[p], outs[p].Set.Format(in), q, e.Groups[q], outs[q].Set.Format(in))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckGroupSnapshotBrute verifies group solvability by enumerating every
+// output sample of Definition 3.4 and checking the snapshot-task condition
+// on each. Exponential in the number of same-group processors; use
+// Execution.SampleCount to gauge feasibility.
+func CheckGroupSnapshotBrute(e Execution, in *view.Interner, outs []SnapshotOutput) error {
+	if err := e.validate(len(outs)); err != nil {
+		return err
+	}
+	done := make([]bool, len(outs))
+	for i, o := range outs {
+		done[i] = o.Done
+	}
+	members, err := e.groupMembers(done)
+	if err != nil {
+		return err
+	}
+	return forEachSample(members, func(rep map[string]int) error {
+		for g, p := range rep {
+			if err := snapshotUnary(e, in, outs, p); err != nil {
+				return fmt.Errorf("sample %v: %w", rep, err)
+			}
+			for h, q := range rep {
+				if g >= h {
+					continue
+				}
+				if !outs[p].Set.ComparableWith(outs[q].Set) {
+					return fmt.Errorf("sample %v: snapshots of groups %s and %s incomparable", rep, g, h)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// CheckStrongSnapshot verifies the stronger, non-group condition the
+// Figure 3 algorithm happens to guarantee (Section 5.3.2): ALL outputs —
+// including outputs of same-group processors — are pairwise related by
+// containment.
+func CheckStrongSnapshot(e Execution, in *view.Interner, outs []SnapshotOutput) error {
+	if err := CheckGroupSnapshot(e, in, outs); err != nil {
+		return err
+	}
+	for p := range outs {
+		if !e.participated(p) {
+			continue
+		}
+		for q := 0; q < p; q++ {
+			if !e.participated(q) {
+				continue
+			}
+			if !outs[p].Set.ComparableWith(outs[q].Set) {
+				return fmt.Errorf("tasks: snapshots of processors %d (%s) and %d (%s) incomparable",
+					p, outs[p].Set.Format(in), q, outs[q].Set.Format(in))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package tasks specifies the distributed tasks of Section 3 — consensus,
+// snapshot, and adaptive renaming — and mechanizes Gafni's group
+// solvability (Definition 3.4), the paper's proposed notion of task
+// solvability under processor anonymity.
+//
+// Each task comes in two checkers that tests cross-validate against each
+// other:
+//
+//   - a brute-force checker that literally enumerates every output sample
+//     of Definition 3.4 (every way of picking one representative processor
+//     per participating group) and validates the task condition on each;
+//   - a smart checker using the equivalent unary/pairwise formulation,
+//     which scales past what enumeration allows.
+//
+// Groups are identified by input labels: the group of a processor is its
+// input, exactly as in Section 3.2.1.
+package tasks
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Execution describes who ran and in which group, for the checkers.
+type Execution struct {
+	// Groups[p] is the group label (input) of processor p.
+	Groups []string
+	// Participated[p] reports whether processor p took at least one step.
+	// nil means everyone participated.
+	Participated []bool
+}
+
+// participated reports whether processor p participated.
+func (e Execution) participated(p int) bool {
+	return e.Participated == nil || e.Participated[p]
+}
+
+// validate checks internal consistency against the number of outputs.
+func (e Execution) validate(nOutputs int) error {
+	if len(e.Groups) == 0 {
+		return fmt.Errorf("tasks: no processors")
+	}
+	if len(e.Groups) != nOutputs {
+		return fmt.Errorf("tasks: %d groups for %d outputs", len(e.Groups), nOutputs)
+	}
+	if e.Participated != nil && len(e.Participated) != len(e.Groups) {
+		return fmt.Errorf("tasks: %d participation flags for %d processors", len(e.Participated), len(e.Groups))
+	}
+	return nil
+}
+
+// ParticipatingGroups returns the sorted labels of groups with at least
+// one participating member.
+func (e Execution) ParticipatingGroups() []string {
+	seen := make(map[string]bool)
+	for p, g := range e.Groups {
+		if e.participated(p) {
+			seen[g] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// groupMembers returns, per participating group, the participating member
+// processors that have terminated (done). It errors if a participating
+// processor has not terminated: Definition 3.4 quantifies over executions
+// in which all participating processors terminate.
+func (e Execution) groupMembers(done []bool) (map[string][]int, error) {
+	members := make(map[string][]int)
+	for p, g := range e.Groups {
+		if !e.participated(p) {
+			continue
+		}
+		if !done[p] {
+			return nil, fmt.Errorf("tasks: participating processor %d did not terminate", p)
+		}
+		members[g] = append(members[g], p)
+	}
+	return members, nil
+}
+
+// forEachSample enumerates every output sample of Definition 3.4: every
+// function mapping each participating group to one of its members. It
+// stops at the first error and returns it.
+func forEachSample(members map[string][]int, check func(rep map[string]int) error) error {
+	groups := make([]string, 0, len(members))
+	for g := range members {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	rep := make(map[string]int, len(groups))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(groups) {
+			return check(rep)
+		}
+		for _, p := range members[groups[i]] {
+			rep[groups[i]] = p
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(rep, groups[i])
+		return nil
+	}
+	return rec(0)
+}
+
+// SampleCount returns how many output samples the execution has (the
+// product of participating group sizes) — useful to decide whether the
+// brute-force checker is feasible.
+func (e Execution) SampleCount(done []bool) (int, error) {
+	members, err := e.groupMembers(done)
+	if err != nil {
+		return 0, err
+	}
+	n := 1
+	for _, ms := range members {
+		n *= len(ms)
+	}
+	return n, nil
+}
+
+// AllDone returns a done slice marking all n processors terminated.
+func AllDone(n int) []bool {
+	d := make([]bool, n)
+	for i := range d {
+		d[i] = true
+	}
+	return d
+}

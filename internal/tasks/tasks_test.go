@@ -1,0 +1,318 @@
+package tasks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anonshm/internal/view"
+)
+
+func allDoneSnap(vs ...view.View) []SnapshotOutput {
+	out := make([]SnapshotOutput, len(vs))
+	for i, v := range vs {
+		out[i] = SnapshotOutput{Set: v, Done: true}
+	}
+	return out
+}
+
+func TestParticipatingGroups(t *testing.T) {
+	e := Execution{
+		Groups:       []string{"A", "B", "A", "C"},
+		Participated: []bool{true, true, true, false},
+	}
+	got := e.ParticipatingGroups()
+	if fmt.Sprint(got) != "[A B]" {
+		t.Errorf("participating = %v", got)
+	}
+	e2 := Execution{Groups: []string{"B", "A"}}
+	if fmt.Sprint(e2.ParticipatingGroups()) != "[A B]" {
+		t.Errorf("nil participation = %v", e2.ParticipatingGroups())
+	}
+}
+
+func TestExecutionValidate(t *testing.T) {
+	if err := (Execution{}).validate(0); err == nil {
+		t.Error("empty execution accepted")
+	}
+	if err := (Execution{Groups: []string{"A"}}).validate(2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	e := Execution{Groups: []string{"A"}, Participated: []bool{true, false}}
+	if err := e.validate(1); err == nil {
+		t.Error("participation length mismatch accepted")
+	}
+}
+
+func TestSampleCount(t *testing.T) {
+	e := Execution{Groups: []string{"A", "A", "B", "B", "B"}}
+	n, err := e.SampleCount(AllDone(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("samples = %d, want 6", n)
+	}
+	// Non-terminated participant is an error.
+	done := AllDone(5)
+	done[2] = false
+	if _, err := e.SampleCount(done); err == nil {
+		t.Error("incomplete execution accepted")
+	}
+}
+
+// TestGafniExample is the Section 3.2 example: processors 1..4, groups
+// A={1}, B={2,3}, C={4}; outputs {A,B,C}, {A,B}, {B,C}, {A,B,C}. It is a
+// legal GROUP solution although processors 2 and 3 return incomparable
+// sets, so the strong checker must reject it and the group checkers must
+// accept it.
+func TestGafniExample(t *testing.T) {
+	in := view.NewInterner()
+	a, b, c := in.Intern("A"), in.Intern("B"), in.Intern("C")
+	e := Execution{Groups: []string{"A", "B", "B", "C"}}
+	outs := allDoneSnap(
+		view.Of(a, b, c),
+		view.Of(a, b),
+		view.Of(b, c),
+		view.Of(a, b, c),
+	)
+	if err := CheckGroupSnapshot(e, in, outs); err != nil {
+		t.Errorf("smart checker rejected the paper's example: %v", err)
+	}
+	if err := CheckGroupSnapshotBrute(e, in, outs); err != nil {
+		t.Errorf("brute checker rejected the paper's example: %v", err)
+	}
+	if err := CheckStrongSnapshot(e, in, outs); err == nil {
+		t.Error("strong checker accepted incomparable same-group outputs")
+	}
+}
+
+func TestSnapshotViolations(t *testing.T) {
+	in := view.NewInterner()
+	a, b := in.Intern("A"), in.Intern("B")
+
+	t.Run("missing own group", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B"}}
+		outs := allDoneSnap(view.Of(b), view.Of(b))
+		if CheckGroupSnapshot(e, in, outs) == nil || CheckGroupSnapshotBrute(e, in, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("non-participating group", func(t *testing.T) {
+		c := in.Intern("C")
+		e := Execution{Groups: []string{"A", "B"}}
+		outs := allDoneSnap(view.Of(a, c), view.Of(a, b))
+		if CheckGroupSnapshot(e, in, outs) == nil || CheckGroupSnapshotBrute(e, in, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("incomparable across groups", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B"}}
+		outs := allDoneSnap(view.Of(a), view.Of(b))
+		if CheckGroupSnapshot(e, in, outs) == nil || CheckGroupSnapshotBrute(e, in, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("non-participant ignored", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B"}, Participated: []bool{true, false}}
+		outs := []SnapshotOutput{{Set: view.Of(a), Done: true}, {}}
+		if err := CheckGroupSnapshot(e, in, outs); err != nil {
+			t.Errorf("rejected: %v", err)
+		}
+	})
+	t.Run("unterminated participant", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B"}}
+		outs := []SnapshotOutput{{Set: view.Of(a), Done: true}, {}}
+		if CheckGroupSnapshot(e, in, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+}
+
+func TestConsensusCheckers(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B", "A"}}
+		outs := []ConsensusOutput{{"B", true}, {"B", true}, {"B", true}}
+		if err := CheckGroupConsensus(e, outs); err != nil {
+			t.Error(err)
+		}
+		if err := CheckGroupConsensusBrute(e, outs); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("disagreement", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B"}}
+		outs := []ConsensusOutput{{"A", true}, {"B", true}}
+		if CheckGroupConsensus(e, outs) == nil || CheckGroupConsensusBrute(e, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("non-participating value", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "A"}}
+		outs := []ConsensusOutput{{"B", true}, {"B", true}}
+		if CheckGroupConsensus(e, outs) == nil || CheckGroupConsensusBrute(e, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("same-group disagreement still invalid", func(t *testing.T) {
+		// With two groups, mixing representatives exposes the clash.
+		e := Execution{Groups: []string{"A", "A", "B"}}
+		outs := []ConsensusOutput{{"A", true}, {"B", true}, {"A", true}}
+		if CheckGroupConsensus(e, outs) == nil || CheckGroupConsensusBrute(e, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+}
+
+func TestRenamingCheckers(t *testing.T) {
+	f := RenamingParam
+	t.Run("param", func(t *testing.T) {
+		for n, want := range map[int]int{1: 1, 2: 3, 3: 6, 4: 10} {
+			if got := RenamingParam(n); got != want {
+				t.Errorf("f(%d) = %d, want %d", n, got, want)
+			}
+		}
+	})
+	t.Run("valid with same-group sharing", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "A", "B"}}
+		outs := []RenamingOutput{{1, true}, {1, true}, {3, true}}
+		if err := CheckGroupRenaming(e, f, outs); err != nil {
+			t.Error(err)
+		}
+		if err := CheckGroupRenamingBrute(e, f, outs); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("cross-group clash", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B"}}
+		outs := []RenamingOutput{{2, true}, {2, true}}
+		if CheckGroupRenaming(e, f, outs) == nil || CheckGroupRenamingBrute(e, f, outs) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("out of range", func(t *testing.T) {
+		e := Execution{Groups: []string{"A", "B"}}
+		outs := []RenamingOutput{{1, true}, {4, true}} // f(2)=3
+		if CheckGroupRenaming(e, f, outs) == nil || CheckGroupRenamingBrute(e, f, outs) == nil {
+			t.Error("accepted")
+		}
+		outs = []RenamingOutput{{0, true}, {1, true}}
+		if CheckGroupRenaming(e, f, outs) == nil || CheckGroupRenamingBrute(e, f, outs) == nil {
+			t.Error("accepted name 0")
+		}
+	})
+	t.Run("adaptive bound uses participating groups", func(t *testing.T) {
+		// Three groups exist but only two participate: bound is f(2)=3.
+		e := Execution{
+			Groups:       []string{"A", "B", "C"},
+			Participated: []bool{true, true, false},
+		}
+		outs := []RenamingOutput{{1, true}, {3, true}, {}}
+		if err := CheckGroupRenaming(e, f, outs); err != nil {
+			t.Error(err)
+		}
+		outs[1].Name = 4
+		if CheckGroupRenaming(e, f, outs) == nil {
+			t.Error("accepted name above adaptive bound")
+		}
+	})
+}
+
+// TestSmartEqualsBruteSnapshot cross-validates the two snapshot checkers
+// on random outputs: they must accept/reject identically.
+func TestSmartEqualsBruteSnapshot(t *testing.T) {
+	in := view.NewInterner()
+	labels := []string{"A", "B", "C"}
+	ids := in.InternAll(labels)
+	rng := rand.New(rand.NewSource(42))
+	agree, disagree := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		n := 2 + rng.Intn(4)
+		groups := make([]string, n)
+		for i := range groups {
+			groups[i] = labels[rng.Intn(len(labels))]
+		}
+		outs := make([]SnapshotOutput, n)
+		for i := range outs {
+			v := view.Empty()
+			for _, id := range ids {
+				if rng.Intn(2) == 0 {
+					v = v.With(id)
+				}
+			}
+			outs[i] = SnapshotOutput{Set: v, Done: true}
+		}
+		e := Execution{Groups: groups}
+		smart := CheckGroupSnapshot(e, in, outs)
+		brute := CheckGroupSnapshotBrute(e, in, outs)
+		if (smart == nil) != (brute == nil) {
+			disagree++
+			t.Errorf("trial %d: smart=%v brute=%v groups=%v", trial, smart, brute, groups)
+		} else {
+			agree++
+		}
+	}
+	if agree == 0 || disagree > 0 {
+		t.Errorf("agree=%d disagree=%d", agree, disagree)
+	}
+}
+
+// TestSmartEqualsBruteConsensus cross-validates the consensus checkers.
+func TestSmartEqualsBruteConsensus(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(5)
+		groups := make([]string, n)
+		outs := make([]ConsensusOutput, n)
+		for i := range groups {
+			groups[i] = labels[rng.Intn(len(labels))]
+			outs[i] = ConsensusOutput{Value: labels[rng.Intn(len(labels))], Done: true}
+		}
+		e := Execution{Groups: groups}
+		smart := CheckGroupConsensus(e, outs)
+		brute := CheckGroupConsensusBrute(e, outs)
+		if (smart == nil) != (brute == nil) {
+			t.Errorf("trial %d: smart=%v brute=%v groups=%v outs=%v", trial, smart, brute, groups, outs)
+		}
+	}
+}
+
+// TestSmartEqualsBruteRenaming cross-validates the renaming checkers.
+func TestSmartEqualsBruteRenaming(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(5)
+		groups := make([]string, n)
+		outs := make([]RenamingOutput, n)
+		for i := range groups {
+			groups[i] = labels[rng.Intn(len(labels))]
+			outs[i] = RenamingOutput{Name: rng.Intn(8), Done: true} // 0..7, some invalid
+		}
+		e := Execution{Groups: groups}
+		smart := CheckGroupRenaming(e, RenamingParam, outs)
+		brute := CheckGroupRenamingBrute(e, RenamingParam, outs)
+		if (smart == nil) != (brute == nil) {
+			t.Errorf("trial %d: smart=%v brute=%v groups=%v outs=%v", trial, smart, brute, groups, outs)
+		}
+	}
+}
+
+func TestForEachSampleEnumeration(t *testing.T) {
+	members := map[string][]int{"A": {0, 1}, "B": {2, 3, 4}}
+	count := 0
+	err := forEachSample(members, func(rep map[string]int) error {
+		count++
+		if len(rep) != 2 {
+			t.Errorf("sample %v has wrong size", rep)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Errorf("samples = %d, want 6", count)
+	}
+}

@@ -1,0 +1,194 @@
+// Package trace records executions step by step and renders them as
+// human-readable tables in the style of Figure 2 of the paper.
+//
+// A Recorder is a sched.Observer that stores every machine.StepInfo
+// together with optional per-step snapshots of the register contents and
+// processor views. The reads-from relation the paper's lemmas are phrased
+// in terms of (processor p reads from processor q at time t) falls out of
+// the recorded StepInfo.ReadFrom fields.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/machine"
+)
+
+// Event is one recorded step.
+type Event struct {
+	T    int
+	Info machine.StepInfo
+	// Registers holds the rendered contents of every global register after
+	// the step, if the Recorder has a WordFormat.
+	Registers []string
+	// Views holds the rendered local view of every processor after the
+	// step, if the Recorder has a ViewFormat.
+	Views []string
+}
+
+// Recorder accumulates events. The zero value records raw step info only;
+// set WordFormat/ViewFormat to also capture rendered snapshots.
+type Recorder struct {
+	// WordFormat renders a register word; when set, register contents are
+	// snapshotted after every step.
+	WordFormat func(w anonmem.Word) string
+	// ViewFormat renders processor p's local state; when set, views are
+	// snapshotted after every step.
+	ViewFormat func(sys *machine.System, p int) string
+
+	Events []Event
+}
+
+var _ interface {
+	OnStep(t int, info machine.StepInfo, sys *machine.System)
+} = (*Recorder)(nil)
+
+// OnStep implements sched.Observer.
+func (r *Recorder) OnStep(t int, info machine.StepInfo, sys *machine.System) {
+	ev := Event{T: t, Info: info}
+	if r.WordFormat != nil {
+		cells := sys.Mem.Cells()
+		ev.Registers = make([]string, len(cells))
+		for i, c := range cells {
+			ev.Registers[i] = r.WordFormat(c)
+		}
+	}
+	if r.ViewFormat != nil {
+		ev.Views = make([]string, sys.N())
+		for p := range ev.Views {
+			ev.Views[p] = r.ViewFormat(sys, p)
+		}
+	}
+	r.Events = append(r.Events, ev)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.Events) }
+
+// ReadsFrom returns the reads-from pairs: element {p, q, t} means processor
+// p read a register last written by processor q at time t. Reads of
+// never-written registers are omitted.
+func (r *Recorder) ReadsFrom() []ReadEdge {
+	var out []ReadEdge
+	for _, ev := range r.Events {
+		if ev.Info.Op.Kind == machine.OpRead && ev.Info.ReadFrom >= 0 {
+			out = append(out, ReadEdge{Reader: ev.Info.Proc, Writer: ev.Info.ReadFrom, T: ev.T})
+		}
+	}
+	return out
+}
+
+// ReadEdge is one reads-from fact.
+type ReadEdge struct {
+	Reader, Writer, T int
+}
+
+// Steps returns how many steps each processor took.
+func (r *Recorder) Steps() map[int]int {
+	out := make(map[int]int)
+	for _, ev := range r.Events {
+		out[ev.Info.Proc]++
+	}
+	return out
+}
+
+// Overwrites counts the destructive overwrites: writes that replaced a
+// different word last written by a different processor.
+func (r *Recorder) Overwrites() int {
+	n := 0
+	for _, ev := range r.Events {
+		in := ev.Info
+		if in.Op.Kind != machine.OpWrite || in.Overwrote == nil {
+			continue
+		}
+		if in.PrevWriter >= 0 && in.PrevWriter != in.Proc && in.Overwrote.Key() != in.Op.Word.Key() {
+			n++
+		}
+	}
+	return n
+}
+
+// Table renders rows of cells as an aligned ASCII table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// RenderFigure renders the recorded events as a Figure-2-style table: one
+// row per step with an action description, the register contents and the
+// processor views. It requires WordFormat and ViewFormat to have been set.
+func (r *Recorder) RenderFigure(actions func(ev Event) string) string {
+	if len(r.Events) == 0 {
+		return "(empty trace)\n"
+	}
+	first := r.Events[0]
+	header := []string{"step", "action"}
+	for i := range first.Registers {
+		header = append(header, fmt.Sprintf("r%d", i+1))
+	}
+	for p := range first.Views {
+		header = append(header, fmt.Sprintf("view[p%d]", p+1))
+	}
+	rows := make([][]string, 0, len(r.Events))
+	for i, ev := range r.Events {
+		row := []string{fmt.Sprintf("%d", i+1), actions(ev)}
+		row = append(row, ev.Registers...)
+		row = append(row, ev.Views...)
+		rows = append(rows, row)
+	}
+	return Table(header, rows)
+}
+
+// DescribeStep renders a default action description for an event.
+func DescribeStep(ev Event) string {
+	in := ev.Info
+	switch in.Op.Kind {
+	case machine.OpWrite:
+		verb := "writes"
+		if in.PrevWriter >= 0 && in.PrevWriter != in.Proc {
+			verb = fmt.Sprintf("overwrites p%d in", in.PrevWriter+1)
+		}
+		return fmt.Sprintf("p%d %s r%d", in.Proc+1, verb, in.Global+1)
+	case machine.OpRead:
+		return fmt.Sprintf("p%d reads r%d", in.Proc+1, in.Global+1)
+	case machine.OpOutput:
+		return fmt.Sprintf("p%d outputs", in.Proc+1)
+	default:
+		return fmt.Sprintf("p%d steps", in.Proc+1)
+	}
+}

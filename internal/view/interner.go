@@ -1,0 +1,88 @@
+package view
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Interner assigns dense IDs to input labels. It is safe for concurrent
+// use: the goroutine runtime interns consensus inputs (value, timestamp
+// pairs) from many processors at once.
+//
+// The zero value is not usable; call NewInterner.
+type Interner struct {
+	mu     sync.RWMutex
+	ids    map[string]ID
+	labels []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]ID)}
+}
+
+// Intern returns the ID for label, assigning the next dense ID if the
+// label is new.
+func (in *Interner) Intern(label string) ID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[label]; ok {
+		return id
+	}
+	id := ID(len(in.labels))
+	in.ids[label] = id
+	in.labels = append(in.labels, label)
+	return id
+}
+
+// InternAll interns each label in order and returns their IDs.
+func (in *Interner) InternAll(labels []string) []ID {
+	ids := make([]ID, len(labels))
+	for i, l := range labels {
+		ids[i] = in.Intern(l)
+	}
+	return ids
+}
+
+// Lookup returns the ID for label without interning it.
+func (in *Interner) Lookup(label string) (ID, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.ids[label]
+	return id, ok
+}
+
+// Label returns the label for id. It panics if id was never assigned.
+func (in *Interner) Label(id ID) string {
+	l, ok := in.TryLabel(id)
+	if !ok {
+		panic(fmt.Sprintf("view: unknown ID %d", id))
+	}
+	return l
+}
+
+// TryLabel returns the label for id and whether id has been assigned.
+func (in *Interner) TryLabel(id ID) (string, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if id < 0 || int(id) >= len(in.labels) {
+		return "", false
+	}
+	return in.labels[id], true
+}
+
+// Len returns the number of interned labels.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.labels)
+}
+
+// Labels returns a copy of all interned labels, indexed by ID.
+func (in *Interner) Labels() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]string, len(in.labels))
+	copy(out, in.labels)
+	return out
+}

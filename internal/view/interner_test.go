@@ -1,0 +1,101 @@
+package view
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestInternerBasic(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("a")
+	b := in.Intern("b")
+	if a != 0 || b != 1 {
+		t.Errorf("IDs not dense: a=%d b=%d", a, b)
+	}
+	if got := in.Intern("a"); got != a {
+		t.Errorf("re-intern changed ID: %d", got)
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d", in.Len())
+	}
+	if in.Label(a) != "a" || in.Label(b) != "b" {
+		t.Error("Label round-trip failed")
+	}
+	if id, ok := in.Lookup("b"); !ok || id != b {
+		t.Errorf("Lookup(b) = (%d,%v)", id, ok)
+	}
+	if _, ok := in.Lookup("c"); ok {
+		t.Error("Lookup of unknown label succeeded")
+	}
+}
+
+func TestInternerTryLabel(t *testing.T) {
+	in := NewInterner()
+	in.Intern("x")
+	if _, ok := in.TryLabel(-1); ok {
+		t.Error("TryLabel(-1) ok")
+	}
+	if _, ok := in.TryLabel(5); ok {
+		t.Error("TryLabel(5) ok")
+	}
+	if l, ok := in.TryLabel(0); !ok || l != "x" {
+		t.Errorf("TryLabel(0) = (%q,%v)", l, ok)
+	}
+}
+
+func TestInternerLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Label on unknown ID did not panic")
+		}
+	}()
+	NewInterner().Label(3)
+}
+
+func TestInternerInternAll(t *testing.T) {
+	in := NewInterner()
+	ids := in.InternAll([]string{"p", "q", "p"})
+	if ids[0] != ids[2] || ids[0] == ids[1] {
+		t.Errorf("InternAll = %v", ids)
+	}
+	labels := in.Labels()
+	if len(labels) != 2 || labels[0] != "p" || labels[1] != "q" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestInternerLabelsIsCopy(t *testing.T) {
+	in := NewInterner()
+	in.Intern("orig")
+	ls := in.Labels()
+	ls[0] = "mutated"
+	if in.Label(0) != "orig" {
+		t.Error("Labels() exposed internal slice")
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				label := "v" + strconv.Itoa(i%50)
+				id := in.Intern(label)
+				if got := in.Label(id); got != label {
+					t.Errorf("concurrent Label(%d) = %q, want %q", id, got, label)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Len() != 50 {
+		t.Errorf("Len = %d, want 50", in.Len())
+	}
+}
