@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The explorer and runtime are the only packages with real concurrency;
+# everything else is single-threaded model code, so the race detector
+# runs only where it can find something.
+race:
+	$(GO) test -race ./internal/explore/ ./internal/runtime/
+
+# Extended tier-1 gate: what CI (and ROADMAP.md) require before merge.
+verify: build vet test race
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchtime 1x .

@@ -29,7 +29,11 @@ type config struct {
 
 // WithRegisters sets M, the number of shared registers. The default — and
 // the paper's setting — is N, the number of processors; fewer than N makes
-// non-trivial tasks unsolvable (Section 2.1).
+// non-trivial tasks unsolvable (Section 2.1). M is capped at 64: machine
+// states track register sets (e.g. which registers a scanner has not yet
+// seen written) as one bit per register packed into a single uint64 word,
+// and the explorer folds that word into its state fingerprints, so larger
+// memories would need a multi-word encoding throughout.
 func WithRegisters(m int) Option { return func(c *config) { c.registers = m } }
 
 // WithWirings fixes the processors' wiring permutations instead of drawing
@@ -60,7 +64,7 @@ func buildConfig(n int, opts []Option) (*config, error) {
 		c.registers = n
 	}
 	if c.registers <= 0 || c.registers > 64 {
-		return nil, fmt.Errorf("anonshm: register count %d out of range [1,64]", c.registers)
+		return nil, fmt.Errorf("anonshm: register count %d out of range [1,64] (register sets are tracked and fingerprinted as one bit per register in a single uint64 word)", c.registers)
 	}
 	if !c.seedSet {
 		c.seed = 1

@@ -398,11 +398,74 @@ func BenchmarkExploreThroughput(b *testing.B) {
 	}
 	var states int
 	for i := 0; i < b.N; i++ {
-		res, err := explore.DFS(sys.Clone(), explore.Options{})
+		res, err := explore.Run(sys.Clone(), explore.Options{Engine: explore.DFSEngine})
 		if err != nil {
 			b.Fatal(err)
 		}
 		states = res.States
 	}
 	b.ReportMetric(float64(states), "states/op")
+}
+
+// exploreBenchCase builds the serial-vs-parallel benchmark workload: a
+// 3-processor snapshot system cut to an untruncated ~135k-state subspace
+// by a depth-independent prune (views only grow), so every engine
+// explores exactly the same states and the states/sec metrics compare
+// like for like.
+func exploreBenchCase(b *testing.B) (*machine.System, explore.Options) {
+	b.Helper()
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b", "c"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prune := func(n explore.Node) bool {
+		for _, m := range n.Sys.Procs {
+			if v, ok := m.(core.Viewer); ok && v.View().Len() >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+	return sys, explore.Options{Prune: prune}
+}
+
+func runExploreBench(b *testing.B, sys *machine.System, opts explore.Options) {
+	b.Helper()
+	var states int64
+	for i := 0; i < b.N; i++ {
+		res, err := explore.Run(sys.Clone(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Truncated {
+			b.Fatal("benchmark space truncated")
+		}
+		states += int64(res.States)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(states)/secs, "states/sec")
+	}
+	b.ReportMetric(float64(states)/float64(b.N), "states/op")
+}
+
+// BenchmarkExploreSerial is the single-threaded reference for the
+// parallel engine: BFSEngine on the 3-processor snapshot subspace.
+func BenchmarkExploreSerial(b *testing.B) {
+	sys, opts := exploreBenchCase(b)
+	opts.Engine = explore.BFSEngine
+	runExploreBench(b, sys, opts)
+}
+
+// BenchmarkExploreParallel measures ParallelEngine on the identical
+// 3-processor snapshot subspace at several worker counts; compare
+// states/sec against BenchmarkExploreSerial.
+func BenchmarkExploreParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sys, opts := exploreBenchCase(b)
+			opts.Engine = explore.ParallelEngine
+			opts.Workers = workers
+			runExploreBench(b, sys, opts)
+		})
+	}
 }

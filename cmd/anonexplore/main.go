@@ -2,9 +2,16 @@
 // every interleaving (and optionally every wiring), replacing the TLC
 // model checker used in the paper.
 //
+// The search backend is selectable: -engine bfs|dfs|parallel picks the
+// explorer engine (dfs by default — smallest memory footprint), and
+// -workers sets the parallel engine's worker count (0 = all cores).
+// Wait-freedom checks need cycle detection, which the parallel engine
+// does not provide; use dfs or bfs there.
+//
 // Examples:
 //
 //	anonexplore -check safety   -inputs a,b       # snapshot-task outputs, all wirings
+//	anonexplore -check safety   -inputs a,b -engine parallel -workers 4
 //	anonexplore -check waitfree -inputs a,b
 //	anonexplore -check atomicity -inputs a,b      # proves atomicity at N=2
 //	anonexplore -check atomicity -inputs a,b,c -max-states 5000000
@@ -12,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,35 +31,72 @@ import (
 
 func main() {
 	var (
-		check     = flag.String("check", "safety", "check: safety | waitfree | atomicity | atomicity-random | consensus")
-		inputsCSV = flag.String("inputs", "a,b", "comma-separated processor inputs")
-		nondet    = flag.Bool("nondet", true, "explore the algorithms' internal register choices")
-		canonical = flag.Bool("canonical", true, "fix processor 0's wiring to the identity (sound symmetry reduction)")
-		level     = flag.Int("level", 0, "snapshot termination level override (0 = N)")
-		maxStates = flag.Int("max-states", 0, "per-search state bound (0 = default)")
-		maxTS     = flag.Int("max-ts", 2, "consensus timestamp bound")
-		trials    = flag.Int("trials", 100000, "trials for atomicity-random")
-		seed      = flag.Int64("seed", 1, "seed for atomicity-random")
+		check      = flag.String("check", "safety", "check: safety | waitfree | atomicity | atomicity-random | consensus")
+		inputsCSV  = flag.String("inputs", "a,b", "comma-separated processor inputs")
+		engineName = flag.String("engine", "auto", "explorer engine: auto | bfs | dfs | parallel")
+		workers    = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+		progress   = flag.Int("progress", 0, "print progress every N discovered states (0 = off)")
+		nondet     = flag.Bool("nondet", true, "explore the algorithms' internal register choices")
+		canonical  = flag.Bool("canonical", true, "fix processor 0's wiring to the identity (sound symmetry reduction)")
+		level      = flag.Int("level", 0, "snapshot termination level override (0 = N)")
+		maxStates  = flag.Int("max-states", 0, "per-search state bound (0 = default)")
+		maxTS      = flag.Int("max-ts", 2, "consensus timestamp bound")
+		trials     = flag.Int("trials", 100000, "trials for atomicity-random")
+		seed       = flag.Int64("seed", 1, "seed for atomicity-random")
 	)
 	flag.Parse()
-	if err := run(*check, *inputsCSV, *nondet, *canonical, *level, *maxStates, *maxTS, *trials, *seed); err != nil {
+	engine, err := explore.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anonexplore:", err)
+		os.Exit(2)
+	}
+	cli := options{
+		check: *check, inputsCSV: *inputsCSV,
+		engine: engine, workers: *workers, progress: *progress,
+		nondet: *nondet, canonical: *canonical, level: *level,
+		maxStates: *maxStates, maxTS: *maxTS, trials: *trials, seed: *seed,
+	}
+	if err := run(cli); err != nil {
 		fmt.Fprintln(os.Stderr, "anonexplore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(check, inputsCSV string, nondet, canonical bool, level, maxStates, maxTS, trials int, seed int64) error {
-	inputs := strings.Split(inputsCSV, ",")
+type options struct {
+	check     string
+	inputsCSV string
+	engine    explore.Engine
+	workers   int
+	progress  int
+	nondet    bool
+	canonical bool
+	level     int
+	maxStates int
+	maxTS     int
+	trials    int
+	seed      int64
+}
+
+func run(cli options) error {
+	inputs := strings.Split(cli.inputsCSV, ",")
 	cfg := explore.SnapshotConfig{
 		Inputs:    inputs,
-		Nondet:    nondet,
-		Canonical: canonical,
-		Level:     level,
-		MaxStates: maxStates,
+		Nondet:    cli.nondet,
+		Canonical: cli.canonical,
+		Level:     cli.level,
+		MaxStates: cli.maxStates,
 		Traces:    true,
+		Engine:    cli.engine,
+		Workers:   cli.workers,
+	}
+	if cli.progress > 0 {
+		cfg.ProgressEvery = cli.progress
+		cfg.Progress = func(states, edges int) {
+			fmt.Fprintf(os.Stderr, "... %d states, %d edges\n", states, edges)
+		}
 	}
 	start := time.Now()
-	switch check {
+	switch cli.check {
 	case "safety":
 		sweep, err := explore.CheckSnapshotSafety(cfg)
 		report(sweep, start)
@@ -61,6 +106,10 @@ func run(check, inputsCSV string, nondet, canonical bool, level, maxStates, maxT
 		fmt.Println("snapshot-task safety holds over every explored interleaving")
 	case "waitfree":
 		sweep, err := explore.CheckSnapshotWaitFree(cfg)
+		var unsupported *explore.UnsupportedOptionError
+		if errors.As(err, &unsupported) {
+			return err
+		}
 		report(sweep, start)
 		if err != nil {
 			return fmt.Errorf("WAIT-FREEDOM VIOLATED: %w", err)
@@ -85,7 +134,7 @@ func run(check, inputsCSV string, nondet, canonical bool, level, maxStates, maxT
 			fmt.Println("no witness found within the state bound (search truncated; not a proof)")
 		}
 	case "atomicity-random":
-		w, found, err := explore.RandomNonAtomicityWitness(inputs, trials, seed)
+		w, found, err := explore.RandomNonAtomicityWitness(inputs, cli.trials, cli.seed)
 		if err != nil {
 			return err
 		}
@@ -95,21 +144,23 @@ func run(check, inputsCSV string, nondet, canonical bool, level, maxStates, maxT
 			fmt.Printf("wirings: %v\n", w.Wirings)
 			return nil
 		}
-		fmt.Printf("no witness in %d random executions\n", trials)
+		fmt.Printf("no witness in %d random executions\n", cli.trials)
 	case "consensus":
 		sweep, err := explore.CheckConsensusBounded(explore.ConsensusConfig{
 			Inputs:       inputs,
-			MaxTimestamp: maxTS,
-			Canonical:    canonical,
-			MaxStates:    maxStates,
+			MaxTimestamp: cli.maxTS,
+			Canonical:    cli.canonical,
+			MaxStates:    cli.maxStates,
+			Engine:       cli.engine,
+			Workers:      cli.workers,
 		})
 		report(sweep, start)
 		if err != nil {
 			return fmt.Errorf("CONSENSUS SAFETY VIOLATED: %w", err)
 		}
-		fmt.Printf("agreement and validity hold over every state with timestamps ≤ %d\n", maxTS)
+		fmt.Printf("agreement and validity hold over every state with timestamps ≤ %d\n", cli.maxTS)
 	default:
-		return fmt.Errorf("unknown check %q", check)
+		return fmt.Errorf("unknown check %q", cli.check)
 	}
 	return nil
 }
@@ -118,4 +169,7 @@ func report(sweep explore.SweepResult, start time.Time) {
 	fmt.Printf("wirings=%d states=%d edges=%d terminals=%d largest=%d truncated=%v elapsed=%v\n",
 		sweep.Wirings, sweep.TotalStates, sweep.TotalEdges, sweep.Terminals,
 		sweep.MaxStates, sweep.Truncated, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("engine=%s workers=%d states/sec=%.0f frontier-peak=%d dedup-hit=%.1f%%\n",
+		sweep.Stats.Engine, sweep.Stats.Workers, sweep.StatesPerSec(),
+		sweep.Stats.FrontierPeak, 100*sweep.Stats.DedupHitRate)
 }

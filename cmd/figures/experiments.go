@@ -199,7 +199,7 @@ func runWaitFree() error {
 	if err != nil {
 		return err
 	}
-	res, err := explore.DFS(sys, explore.Options{})
+	res, err := explore.Run(sys, explore.Options{Engine: explore.DFSEngine})
 	if err != nil {
 		return err
 	}

@@ -33,4 +33,12 @@
 // (internal/explore), the Section 2.1 lower-bound construction
 // (internal/lowerbound), and the baselines the paper argues against
 // (internal/baseline).
+//
+// The model checker is engine-based: explore.Run(sys, explore.Options{})
+// dispatches to a breadth-first, depth-first, or work-stealing parallel
+// backend selected by Options.Engine, validates requested options against
+// each engine's capabilities (step-graph tracking, inline cycle
+// detection, parallelism), and returns per-run Stats (states/sec, peak
+// frontier, dedup hit rate). See internal/explore's package documentation
+// for the engine-selection table.
 package anonshm

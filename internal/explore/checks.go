@@ -61,7 +61,13 @@ type SweepResult struct {
 	MaxStates   int // largest single-wiring state count
 	Terminals   int
 	Truncated   bool
+	// Stats merges the per-wiring run stats (wall time and dedup counters
+	// add, frontier peak takes the maximum across wirings).
+	Stats Stats
 }
+
+// StatesPerSec is the aggregate exploration rate of the sweep.
+func (s SweepResult) StatesPerSec() float64 { return s.Stats.MergedRate(s.TotalStates) }
 
 // SnapshotConfig describes one exhaustive snapshot check.
 type SnapshotConfig struct {
@@ -76,6 +82,36 @@ type SnapshotConfig struct {
 	MaxStates int
 	// Traces keeps counterexample traces (memory-heavy on large runs).
 	Traces bool
+	// Engine selects the search backend; AutoEngine resolves to
+	// DFSEngine here (the sweeps' historical default, chosen for its
+	// memory profile on ~10⁸-state spaces).
+	Engine Engine
+	// Workers is the ParallelEngine worker count (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when set with ProgressEvery > 0, receives per-wiring
+	// progress callbacks (states, edges discovered so far).
+	Progress      func(states, edges int)
+	ProgressEvery int
+}
+
+// engine resolves the configured engine, defaulting to DFS.
+func (c SnapshotConfig) engine() Engine {
+	if c.Engine == AutoEngine {
+		return DFSEngine
+	}
+	return c.Engine
+}
+
+// options assembles the per-wiring exploration options.
+func (c SnapshotConfig) options() Options {
+	return Options{
+		Engine:        c.engine(),
+		Workers:       c.Workers,
+		MaxStates:     c.MaxStates,
+		Traces:        c.Traces,
+		Progress:      c.Progress,
+		ProgressEvery: c.ProgressEvery,
+	}
 }
 
 func (c SnapshotConfig) system(perms [][]int) (*machine.System, []view.ID, error) {
@@ -110,11 +146,9 @@ func CheckSnapshotSafety(c SnapshotConfig) (SweepResult, error) {
 		if err != nil {
 			return err
 		}
-		res, err := DFS(sys, Options{
-			MaxStates: c.MaxStates,
-			Invariant: SnapshotInvariant(ids),
-			Traces:    c.Traces,
-		})
+		opts := c.options()
+		opts.Invariant = SnapshotInvariant(ids)
+		res, err := Run(sys, opts)
 		sweep.accumulate(res)
 		return err
 	})
@@ -123,16 +157,30 @@ func CheckSnapshotSafety(c SnapshotConfig) (SweepResult, error) {
 
 // CheckSnapshotWaitFree exhaustively verifies wait-freedom over every
 // wiring assignment: the reachable step graph must be acyclic and free of
-// deadlocks.
+// deadlocks. Wait-freedom is a cycle question, so the configured engine
+// must either detect cycles inline (DFSEngine) or record the step graph
+// for offline cycle search (BFSEngine); ParallelEngine supports neither
+// and is rejected with an *UnsupportedOptionError.
 func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
 	var sweep SweepResult
+	engine := c.engine()
+	caps := engine.Capabilities()
+	if !caps.CycleDetect && !caps.TrackGraph {
+		return sweep, &UnsupportedOptionError{
+			Engine: engine,
+			Option: "cycle detection",
+			Hint:   "wait-freedom checks need DFSEngine (inline) or BFSEngine (step graph)",
+		}
+	}
 	n := len(c.Inputs)
 	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
 		sys, _, err := c.system(perms)
 		if err != nil {
 			return err
 		}
-		res, err := DFS(sys, Options{MaxStates: c.MaxStates, Traces: c.Traces})
+		opts := c.options()
+		opts.TrackGraph = !caps.CycleDetect
+		res, err := Run(sys, opts)
 		sweep.accumulate(res)
 		if err != nil {
 			return err
@@ -140,7 +188,11 @@ func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
 		if res.Truncated {
 			return fmt.Errorf("explore: truncated at %d states; wait-freedom not established", res.States)
 		}
-		if res.Cycle {
+		cycle := res.Cycle
+		if opts.TrackGraph {
+			_, cycle = res.Graph.FindCycle()
+		}
+		if cycle {
 			return fmt.Errorf("explore: wait-freedom violated under wiring %v: %s", perms, FormatTrace(res.CycleTrace))
 		}
 		return nil
@@ -163,6 +215,7 @@ func (s *SweepResult) accumulate(res Result) {
 	if res.Truncated {
 		s.Truncated = true
 	}
+	s.Stats.Merge(res.Stats)
 }
 
 // memoryUnion returns the union of all register views.
@@ -261,13 +314,11 @@ func FindNonAtomicityWitnessIn(c SnapshotConfig, perms [][]int) (WitnessResult, 
 			}
 			return true
 		}
-		res, err := DFS(sys.Clone(), Options{
-			MaxStates: c.MaxStates,
-			Aux:       aux,
-			Invariant: invariant,
-			Prune:     prune,
-			Traces:    c.Traces,
-		})
+		opts := c.options()
+		opts.Aux = aux
+		opts.Invariant = invariant
+		opts.Prune = prune
+		res, err := Run(sys.Clone(), opts)
 		if err != nil {
 			var ie *InvariantError
 			if errors.As(err, &ie) {
@@ -340,6 +391,10 @@ type ConsensusConfig struct {
 	MaxTimestamp int
 	Canonical    bool
 	MaxStates    int
+	// Engine selects the search backend (AutoEngine = DFSEngine).
+	Engine Engine
+	// Workers is the ParallelEngine worker count (0 = GOMAXPROCS).
+	Workers int
 }
 
 // CheckConsensusBounded explores the Figure 5 consensus algorithm up to a
@@ -388,7 +443,13 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 			}
 			return false
 		}
-		res, err := DFS(sys, Options{
+		engine := c.Engine
+		if engine == AutoEngine {
+			engine = DFSEngine
+		}
+		res, err := Run(sys, Options{
+			Engine:    engine,
+			Workers:   c.Workers,
 			MaxStates: c.MaxStates,
 			Invariant: invariant,
 			Prune:     prune,

@@ -14,17 +14,12 @@ import (
 // a back edge to a state on the current path is an infinite execution, so
 // for terminating algorithms it is exactly a wait-freedom violation.
 //
-// Options.TrackGraph is not supported (DFS does its own cycle detection
-// and sets Result.Cycle); Options.Traces is free — counterexample traces
-// come straight off the DFS stack.
-func DFS(init *machine.System, opts Options) (Result, error) {
-	if opts.TrackGraph {
-		return Result{}, fmt.Errorf("explore: DFS does not support TrackGraph; cycle detection is built in")
-	}
+// Options.TrackGraph is not supported (Run rejects it with an
+// *UnsupportedOptionError; cycle detection is built in and sets
+// Result.Cycle); Options.Traces is free — counterexample traces come
+// straight off the DFS stack.
+func runDFS(init *machine.System, opts Options) (Result, error) {
 	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
-	}
 
 	const (
 		grey  = 1
@@ -55,16 +50,21 @@ func DFS(init *machine.System, opts Options) (Result, error) {
 		return out
 	}
 
+	expanded := int64(0)
 	finish := func() Result {
 		res.States = len(color)
 		s := float64(res.States)
 		res.CollisionOdds = s * s / (2.0 * (1 << 63) * 2.0)
+		res.Stats.WorkerSteps = []int64{expanded}
 		return res
 	}
 
 	push := func(stack []frame, sys *machine.System, fp, aux uint64, how machine.StepInfo, depth int) ([]frame, error) {
 		color[fp] = grey
 		stack = append(stack, frame{sys: sys, fp: fp, aux: aux, how: how, n: -1, depth: depth})
+		if len(stack) > res.Stats.FrontierPeak {
+			res.Stats.FrontierPeak = len(stack)
+		}
 		if depth > res.MaxDepth {
 			res.MaxDepth = depth
 		}
@@ -83,6 +83,7 @@ func DFS(init *machine.System, opts Options) (Result, error) {
 	}
 
 	initSys := init.Clone()
+	res.Stats.DedupLookups++
 	stack, err := push(nil, initSys, fingerprint(initSys, opts.InitAux), opts.InitAux, machine.StepInfo{}, 0)
 	if err != nil {
 		return finish(), err
@@ -120,6 +121,7 @@ func DFS(init *machine.System, opts Options) (Result, error) {
 		}
 		if f.p >= f.sys.N() {
 			color[f.fp] = black
+			expanded++
 			stack = stack[:len(stack)-1]
 			continue
 		}
@@ -135,14 +137,17 @@ func DFS(init *machine.System, opts Options) (Result, error) {
 			aux = opts.Aux(aux, info, succ)
 		}
 		fp := fingerprint(succ, aux)
+		res.Stats.DedupLookups++
 		switch color[fp] {
 		case grey:
+			res.Stats.DedupHits++
 			res.Cycle = true
 			if res.CycleTrace == nil && opts.Traces {
 				res.CycleTrace = append(stackTrace(stack), info)
 			}
 		case black:
 			// already fully explored
+			res.Stats.DedupHits++
 		default:
 			depth := f.depth + 1
 			stack, err = push(stack, succ, fp, aux, info, depth)

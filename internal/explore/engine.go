@@ -1,0 +1,174 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"anonshm/internal/machine"
+)
+
+// Engine selects the search backend used by Run. Engines share the state,
+// fingerprint and option model; they differ in visit order, memory
+// profile, parallelism and which optional features they can support (see
+// Capabilities).
+type Engine uint8
+
+const (
+	// AutoEngine lets Run choose: currently BFSEngine, the most
+	// featureful serial engine. Package-level helpers that historically
+	// ran depth-first (the Check* sweeps) resolve AutoEngine to DFSEngine
+	// instead, preserving their memory profile.
+	AutoEngine Engine = iota
+	// BFSEngine is the serial breadth-first engine: visits states in
+	// minimal-depth order, can record the full step graph (TrackGraph)
+	// for offline cycle analysis, and keeps counterexample traces short.
+	BFSEngine
+	// DFSEngine is the serial depth-first engine: smallest memory
+	// footprint (only the current path's systems stay alive), reaches
+	// terminal states early, and detects cycles inline (Result.Cycle).
+	DFSEngine
+	// ParallelEngine is the work-stealing parallel breadth-first engine:
+	// the frontier is sharded across Options.Workers goroutines and the
+	// visited set is a sharded lock-free-read fingerprint table, so
+	// throughput scales with cores. Invariant violations cancel all
+	// workers and still carry a counterexample trace.
+	ParallelEngine
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case AutoEngine:
+		return "auto"
+	case BFSEngine:
+		return "bfs"
+	case DFSEngine:
+		return "dfs"
+	case ParallelEngine:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine converts a command-line engine name to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return AutoEngine, nil
+	case "bfs":
+		return BFSEngine, nil
+	case "dfs":
+		return DFSEngine, nil
+	case "parallel", "par":
+		return ParallelEngine, nil
+	default:
+		return AutoEngine, fmt.Errorf("explore: unknown engine %q (want auto, bfs, dfs or parallel)", s)
+	}
+}
+
+// Capabilities describes which optional features an engine supports. Run
+// validates Options against them up front, so feature/engine mismatches
+// are uniform *UnsupportedOptionError values instead of per-engine ad-hoc
+// errors.
+type Capabilities struct {
+	// TrackGraph: the engine can record the reachable step graph
+	// (Result.Graph) for offline analyses such as StateGraph.FindCycle.
+	TrackGraph bool
+	// CycleDetect: the engine detects cycles inline and sets
+	// Result.Cycle (and CycleTrace with Traces).
+	CycleDetect bool
+	// Traces: the engine can attach counterexample traces to invariant
+	// violations.
+	Traces bool
+	// Parallel: the engine uses multiple workers (Options.Workers).
+	Parallel bool
+}
+
+// Capabilities returns the feature set of the engine.
+func (e Engine) Capabilities() Capabilities {
+	switch e {
+	case DFSEngine:
+		return Capabilities{CycleDetect: true, Traces: true}
+	case ParallelEngine:
+		return Capabilities{Traces: true, Parallel: true}
+	default: // AutoEngine resolves to BFSEngine
+		return Capabilities{TrackGraph: true, Traces: true}
+	}
+}
+
+// UnsupportedOptionError reports an Options feature the selected engine
+// cannot provide.
+type UnsupportedOptionError struct {
+	Engine Engine
+	Option string
+	Hint   string
+}
+
+// Error implements error.
+func (e *UnsupportedOptionError) Error() string {
+	msg := fmt.Sprintf("explore: engine %s does not support %s", e.Engine, e.Option)
+	if e.Hint != "" {
+		msg += " (" + e.Hint + ")"
+	}
+	return msg
+}
+
+// Run is the single entry point for exhaustive exploration: it validates
+// opts against the selected engine's capabilities, dispatches, and fills
+// Result.Stats. AutoEngine resolves to BFSEngine.
+func Run(init *machine.System, opts Options) (Result, error) {
+	engine := opts.Engine
+	if engine == AutoEngine {
+		engine = BFSEngine
+	}
+	caps := engine.Capabilities()
+	if opts.TrackGraph && !caps.TrackGraph {
+		hint := "use BFSEngine"
+		if engine == DFSEngine {
+			hint = "DFS detects cycles inline (Result.Cycle); use BFSEngine for the full graph"
+		}
+		return Result{}, &UnsupportedOptionError{Engine: engine, Option: "TrackGraph", Hint: hint}
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+
+	start := time.Now()
+	var (
+		res Result
+		err error
+	)
+	switch engine {
+	case BFSEngine:
+		res, err = runBFS(init, opts)
+	case DFSEngine:
+		res, err = runDFS(init, opts)
+	case ParallelEngine:
+		res, err = runParallel(init, opts)
+	default:
+		return Result{}, fmt.Errorf("explore: unknown engine %v", opts.Engine)
+	}
+	res.Stats.Engine = engine
+	if res.Stats.Workers == 0 {
+		res.Stats.Workers = 1
+	}
+	res.Stats.finalize(time.Since(start), res.States)
+	return res, err
+}
+
+// BFS explores every reachable state of init breadth-first.
+//
+// Deprecated: use Run with Options.Engine = BFSEngine.
+func BFS(init *machine.System, opts Options) (Result, error) {
+	opts.Engine = BFSEngine
+	return Run(init, opts)
+}
+
+// DFS explores every reachable state of init depth-first.
+//
+// Deprecated: use Run with Options.Engine = DFSEngine.
+func DFS(init *machine.System, opts Options) (Result, error) {
+	opts.Engine = DFSEngine
+	return Run(init, opts)
+}

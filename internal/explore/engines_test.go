@@ -1,0 +1,406 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+)
+
+// engineCase is one system the engine-equivalence tests run on, with the
+// (engine-independent) exploration options it needs to stay small.
+type engineCase struct {
+	sys  *machine.System
+	opts Options
+}
+
+// engineSystems builds the small systems the engine-equivalence tests run
+// on: 2-processor snapshot systems (nondeterministic, over every
+// canonical wiring), a 3-processor snapshot system cut down by a
+// depth-independent prune (full exploration is ~10⁸ states), and the
+// never-terminating write-scan loop (a cyclic state graph).
+func engineSystems(t *testing.T) map[string]engineCase {
+	t.Helper()
+	out := map[string]engineCase{}
+	err := ForAllWirings(2, 2, true, func(perms [][]int) error {
+		sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}, Wirings: perms, Nondet: true})
+		if err != nil {
+			return err
+		}
+		out[fmt.Sprintf("snapshot-n2-%v", perms[1])] = engineCase{sys: sys}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys3, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Views only grow, so pruning on view size is a function of the state
+	// alone — every engine cuts the exact same subtree.
+	prune3 := func(n Node) bool {
+		for _, m := range n.Sys.Procs {
+			if v, ok := m.(core.Viewer); ok && v.View().Len() >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+	out["snapshot-n3-pruned"] = engineCase{sys: sys3, opts: Options{Prune: prune3}}
+	ws, _, err := core.NewWriteScanSystem(core.Config{Inputs: []string{"a", "b"}, Registers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["writescan-n2"] = engineCase{sys: ws}
+	return out
+}
+
+// TestParallelMatchesBFS is the engine-equivalence test: on every small
+// system, ParallelEngine (at several worker counts) must visit exactly
+// the same number of states, edges and terminals as BFSEngine.
+func TestParallelMatchesBFS(t *testing.T) {
+	for name, c := range engineSystems(t) {
+		sys := c.sys
+		t.Run(name, func(t *testing.T) {
+			ropts := c.opts
+			ropts.Engine = BFSEngine
+			ref, err := Run(sys.Clone(), ropts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.States == 0 || ref.Truncated {
+				t.Fatalf("degenerate reference run: %+v", ref)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				popts := c.opts
+				popts.Engine = ParallelEngine
+				popts.Workers = workers
+				got, err := Run(sys.Clone(), popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.States != ref.States || got.Edges != ref.Edges || got.Terminals != ref.Terminals {
+					t.Errorf("workers=%d: states/edges/terminals %d/%d/%d, want %d/%d/%d",
+						workers, got.States, got.Edges, got.Terminals, ref.States, ref.Edges, ref.Terminals)
+				}
+				if got.Pruned != ref.Pruned {
+					t.Errorf("workers=%d: pruned %d, want %d", workers, got.Pruned, ref.Pruned)
+				}
+				if got.Truncated {
+					t.Errorf("workers=%d: unexpected truncation", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesDFSVerdicts: the three engines must agree on the
+// invariant verdict (violated or not) for a violated invariant, and the
+// parallel counterexample must be a real trace (replay-checked below).
+func TestParallelInvariantAgreesWithSerial(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}, Nondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("done processor observed")
+	inv := func(n Node) error {
+		if n.Sys.DoneCount() > 0 {
+			return boom
+		}
+		return nil
+	}
+	for _, engine := range []Engine{BFSEngine, DFSEngine, ParallelEngine} {
+		_, err := Run(sys.Clone(), Options{Engine: engine, Workers: 4, Invariant: inv, Traces: true})
+		var ie *InvariantError
+		if !errors.As(err, &ie) {
+			t.Fatalf("%v: expected InvariantError, got %v", engine, err)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("%v: unwrap failed", engine)
+		}
+		if len(ie.Trace) == 0 {
+			t.Errorf("%v: empty counterexample trace", engine)
+		}
+	}
+}
+
+// TestParallelCounterexampleReplays replays the parallel engine's
+// counterexample trace step by step from the initial state and asserts it
+// reaches a state that really violates the invariant.
+func TestParallelCounterexampleReplays(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}, Nondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("two outputs")
+	inv := func(n Node) error {
+		if n.Sys.DoneCount() >= 2 {
+			return boom
+		}
+		return nil
+	}
+	_, err = Run(sys.Clone(), Options{Engine: ParallelEngine, Workers: 4, Invariant: inv, Traces: true})
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected InvariantError, got %v", err)
+	}
+	replay := sys.Clone()
+	for i, info := range ie.Trace {
+		if replay.DoneCount() >= 2 {
+			t.Fatalf("invariant already violated before step %d of %d", i, len(ie.Trace))
+		}
+		if _, err := replay.Step(info.Proc, info.Choice); err != nil {
+			t.Fatalf("trace does not replay at step %d: %v", i, err)
+		}
+	}
+	if replay.DoneCount() < 2 {
+		t.Fatalf("replayed trace does not violate the invariant: DoneCount=%d", replay.DoneCount())
+	}
+}
+
+// TestParallelStatsInternallyConsistent pins the bookkeeping identities a
+// complete (untruncated, unpruned) run must satisfy: every discovered
+// state is expanded by exactly one worker, every generated successor is
+// one dedup lookup, and every lookup that was not a new state is a hit.
+func TestParallelStatsInternallyConsistent(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}, Nondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys.Clone(), Options{Engine: ParallelEngine, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Engine != ParallelEngine || res.Stats.Workers != 3 {
+		t.Errorf("stats engine/workers = %v/%d", res.Stats.Engine, res.Stats.Workers)
+	}
+	var expanded int64
+	for _, n := range res.Stats.WorkerSteps {
+		expanded += n
+	}
+	if expanded != int64(res.States) {
+		t.Errorf("worker steps sum %d != states %d", expanded, res.States)
+	}
+	if res.Stats.DedupLookups != int64(res.Edges)+1 {
+		t.Errorf("dedup lookups %d != edges+1 %d", res.Stats.DedupLookups, res.Edges+1)
+	}
+	if res.Stats.DedupHits != int64(res.Edges)-int64(res.States)+1 {
+		t.Errorf("dedup hits %d != edges-states+1 %d", res.Stats.DedupHits, res.Edges-res.States+1)
+	}
+	if res.Stats.WallTime <= 0 || res.Stats.StatesPerSec <= 0 {
+		t.Errorf("wall/rate not recorded: %+v", res.Stats)
+	}
+	if res.Stats.FrontierPeak <= 0 {
+		t.Error("frontier peak not recorded")
+	}
+}
+
+// TestSerialStatsRecorded checks the serial engines fill the same Stats
+// block.
+func TestSerialStatsRecorded(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{BFSEngine, DFSEngine} {
+		res, err := Run(sys.Clone(), Options{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Engine != engine || res.Stats.Workers != 1 {
+			t.Errorf("%v: stats engine/workers = %v/%d", engine, res.Stats.Engine, res.Stats.Workers)
+		}
+		if len(res.Stats.WorkerSteps) != 1 || res.Stats.WorkerSteps[0] == 0 {
+			t.Errorf("%v: worker steps %v", engine, res.Stats.WorkerSteps)
+		}
+		if res.Stats.DedupLookups == 0 || res.Stats.DedupHits == 0 || res.Stats.DedupHitRate <= 0 {
+			t.Errorf("%v: dedup counters empty: %+v", engine, res.Stats)
+		}
+		if res.Stats.FrontierPeak <= 0 || res.Stats.StatesPerSec <= 0 {
+			t.Errorf("%v: stats incomplete: %+v", engine, res.Stats)
+		}
+	}
+}
+
+// TestRunCapabilityChecks: option/engine mismatches are uniform
+// *UnsupportedOptionError values.
+func TestRunCapabilityChecks(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{DFSEngine, ParallelEngine} {
+		_, err := Run(sys.Clone(), Options{Engine: engine, TrackGraph: true})
+		var ue *UnsupportedOptionError
+		if !errors.As(err, &ue) {
+			t.Fatalf("%v+TrackGraph: expected UnsupportedOptionError, got %v", engine, err)
+		}
+		if ue.Engine != engine || ue.Option != "TrackGraph" {
+			t.Errorf("%v: error fields %+v", engine, ue)
+		}
+	}
+	if _, err := Run(sys.Clone(), Options{Engine: BFSEngine, TrackGraph: true}); err != nil {
+		t.Errorf("BFS+TrackGraph rejected: %v", err)
+	}
+}
+
+// TestParallelTruncation: the state bound stops the parallel engine and
+// is reported.
+func TestParallelTruncation(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys.Clone(), Options{Engine: ParallelEngine, Workers: 4, MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("not truncated")
+	}
+}
+
+// TestParallelPruneMatchesSerial: with a depth-independent prune, the
+// engines agree on state and pruned counts.
+func TestParallelPruneMatchesSerial(t *testing.T) {
+	sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}, Nondet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prune := func(n Node) bool { return n.Sys.DoneCount() > 0 }
+	ref, err := Run(sys.Clone(), Options{Engine: BFSEngine, Prune: prune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(sys.Clone(), Options{Engine: ParallelEngine, Workers: 4, Prune: prune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.States != ref.States || got.Pruned != ref.Pruned {
+		t.Errorf("states/pruned %d/%d, want %d/%d", got.States, got.Pruned, ref.States, ref.Pruned)
+	}
+}
+
+// TestParseEngine covers the flag-level engine names.
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{
+		"": AutoEngine, "auto": AutoEngine, "bfs": BFSEngine,
+		"dfs": DFSEngine, "parallel": ParallelEngine, "par": ParallelEngine,
+	} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Error("bogus engine accepted")
+	}
+	if ParallelEngine.String() != "parallel" {
+		t.Errorf("String = %q", ParallelEngine)
+	}
+}
+
+// TestChecksAcceptEngines: the packaged sweeps take an engine and report
+// identical totals across engines; engines that cannot answer the
+// question are rejected uniformly.
+func TestChecksAcceptEngines(t *testing.T) {
+	base := SnapshotConfig{Inputs: []string{"a", "b"}, Nondet: true, Canonical: true}
+	ref, err := CheckSnapshotSafety(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{BFSEngine, ParallelEngine} {
+		c := base
+		c.Engine = engine
+		c.Workers = 4
+		sweep, err := CheckSnapshotSafety(c)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if sweep.TotalStates != ref.TotalStates || sweep.TotalEdges != ref.TotalEdges || sweep.Terminals != ref.Terminals {
+			t.Errorf("%v: sweep %+v, want totals of %+v", engine, sweep, ref)
+		}
+		if sweep.Stats.Engine != engine || sweep.Stats.WallTime <= 0 {
+			t.Errorf("%v: sweep stats not merged: %+v", engine, sweep.Stats)
+		}
+	}
+
+	// Wait-freedom needs cycle detection: DFS inline and BFS via the
+	// step graph both work, the parallel engine is rejected.
+	for _, engine := range []Engine{DFSEngine, BFSEngine} {
+		c := base
+		c.Engine = engine
+		if _, err := CheckSnapshotWaitFree(c); err != nil {
+			t.Errorf("waitfree with %v: %v", engine, err)
+		}
+	}
+	c := base
+	c.Engine = ParallelEngine
+	var ue *UnsupportedOptionError
+	if _, err := CheckSnapshotWaitFree(c); !errors.As(err, &ue) {
+		t.Errorf("waitfree with parallel: expected UnsupportedOptionError, got %v", err)
+	}
+
+	// The witness search runs on any engine; at N=2 all prove atomicity.
+	for _, engine := range []Engine{DFSEngine, ParallelEngine} {
+		w := SnapshotConfig{Inputs: []string{"a", "b"}, Canonical: true, Engine: engine, Workers: 2}
+		r, err := FindNonAtomicityWitness(w)
+		if err != nil {
+			t.Fatalf("witness with %v: %v", engine, err)
+		}
+		if r.Found || !r.Exhaustive {
+			t.Errorf("witness with %v: %+v", engine, r)
+		}
+	}
+
+	// Consensus sweep on the parallel engine matches the serial totals.
+	cref, err := CheckConsensusBounded(ConsensusConfig{Inputs: []string{"x", "y"}, MaxTimestamp: 2, Canonical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpar, err := CheckConsensusBounded(ConsensusConfig{
+		Inputs: []string{"x", "y"}, MaxTimestamp: 2, Canonical: true,
+		Engine: ParallelEngine, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpar.TotalStates != cref.TotalStates || cpar.Terminals != cref.Terminals {
+		t.Errorf("consensus parallel sweep %+v, want totals of %+v", cpar, cref)
+	}
+}
+
+// TestFPTable exercises the sharded fingerprint table directly, including
+// growth well past the initial capacity and the zero-fingerprint
+// substitution.
+func TestFPTable(t *testing.T) {
+	tbl := newFPTable(4)
+	const n = 100_000
+	rng := uint64(0x243f6a8885a308d3)
+	fps := make([]uint64, n)
+	for i := range fps {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		fps[i] = rng
+	}
+	for _, fp := range fps {
+		if !tbl.insert(fp) {
+			t.Fatalf("fresh fingerprint %#x reported as duplicate", fp)
+		}
+	}
+	for _, fp := range fps {
+		if tbl.insert(fp) {
+			t.Fatalf("known fingerprint %#x reported as fresh", fp)
+		}
+	}
+	if !tbl.insert(0) {
+		t.Error("zero fingerprint not inserted")
+	}
+	if tbl.insert(0) {
+		t.Error("zero fingerprint not deduplicated")
+	}
+}

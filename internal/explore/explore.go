@@ -3,12 +3,16 @@
 // checker the paper uses to validate the Figure 3 algorithm for 3
 // processors.
 //
-// It performs breadth-first search over every interleaving of processor
-// steps (and, when machines expose it, every internal register-choice
-// alternative), deduplicating global states by 64-bit fingerprint exactly
-// as TLC does (the probability of a hash collision masking a state is
-// about states²/2⁶⁵ and is reported in Result.CollisionOdds). On top of
-// the raw search it provides:
+// Run is the single entry point: Options.Engine selects a serial
+// breadth-first engine (BFSEngine), a serial depth-first engine
+// (DFSEngine), or a work-stealing parallel breadth-first engine
+// (ParallelEngine) that shards the frontier and the visited set across
+// Options.Workers goroutines. All engines search every interleaving of
+// processor steps (and, when machines expose it, every internal
+// register-choice alternative), deduplicating global states by 64-bit
+// fingerprint exactly as TLC does (the probability of a hash collision
+// masking a state is about states²/2⁶⁵ and is reported in
+// Result.CollisionOdds). On top of the raw search the package provides:
 //
 //   - invariant checking, optionally with counterexample traces (safety);
 //   - cycle detection over the reachable step graph, which for these
@@ -22,6 +26,19 @@
 //   - enumeration of wiring permutations with symmetry reduction
 //     (processor 0's wiring is WLOG the identity: relabeling registers
 //     globally preserves behaviour).
+//
+// Picking an engine:
+//
+//	engine          memory                      speed            graph  cycles  traces
+//	BFSEngine       queue + fp set (+ graph)    single-threaded  yes    via graph  yes (shortest)
+//	DFSEngine       stack + color map (least)   single-threaded  no     inline     yes
+//	ParallelEngine  sharded fp table + deques   scales w/Workers no     no         yes
+//
+// AutoEngine (the zero value) resolves to BFSEngine in Run; the sweep
+// helpers in checks.go resolve it to DFSEngine to preserve their
+// historical memory profile. Requesting a capability an engine lacks
+// (e.g. Options.TrackGraph with ParallelEngine) returns an
+// *UnsupportedOptionError naming the engines that support it.
 package explore
 
 import (
@@ -40,6 +57,13 @@ type Node struct {
 
 // Options configures an exploration.
 type Options struct {
+	// Engine selects the search backend (AutoEngine = BFSEngine). See
+	// the Engine constants for the trade-offs and Capabilities for which
+	// options each engine supports.
+	Engine Engine
+	// Workers is the worker count for ParallelEngine (0 = GOMAXPROCS).
+	// Serial engines ignore it.
+	Workers int
 	// MaxStates bounds the number of distinct states; exceeding it sets
 	// Result.Truncated instead of failing. Zero means DefaultMaxStates.
 	MaxStates int
@@ -88,6 +112,9 @@ type Result struct {
 	// state.
 	Cycle      bool
 	CycleTrace []machine.StepInfo
+	// Stats instruments the run: throughput, frontier peak, dedup hit
+	// rate, per-worker load and wall time.
+	Stats Stats
 }
 
 // InvariantError carries a (possibly empty) counterexample trace to a
@@ -151,12 +178,9 @@ type queueEntry struct {
 	depth int32
 }
 
-// BFS explores every reachable state of init.
-func BFS(init *machine.System, opts Options) (Result, error) {
+// runBFS is the serial breadth-first engine behind Run.
+func runBFS(init *machine.System, opts Options) (Result, error) {
 	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
-	}
 	var res Result
 	seen := make(map[uint64]int32)
 	var queue []queueEntry
@@ -186,7 +210,9 @@ func BFS(init *machine.System, opts Options) (Result, error) {
 
 	add := func(sys *machine.System, aux uint64, depth int32, from int32, info machine.StepInfo) (int32, error) {
 		fp := fingerprint(sys, aux)
+		res.Stats.DedupLookups++
 		if id, ok := seen[fp]; ok {
+			res.Stats.DedupHits++
 			return id, nil
 		}
 		id := int32(len(queue))
@@ -217,18 +243,25 @@ func BFS(init *machine.System, opts Options) (Result, error) {
 		return id, nil
 	}
 
+	expanded := int64(0)
 	finish := func() Result {
 		res.States = len(queue)
 		s := float64(res.States)
 		res.CollisionOdds = s * s / (2.0 * (1 << 63) * 2.0)
+		res.Stats.WorkerSteps = []int64{expanded}
 		return res
 	}
 
 	if _, err := add(init.Clone(), opts.InitAux, 0, -1, machine.StepInfo{}); err != nil {
 		return finish(), err
 	}
+	res.Stats.FrontierPeak = 1
 
 	for head := int32(0); head < int32(len(queue)); head++ {
+		if frontier := len(queue) - int(head); frontier > res.Stats.FrontierPeak {
+			res.Stats.FrontierPeak = frontier
+		}
+		expanded++
 		cur := &queue[head]
 		sys := cur.sys
 		if len(queue) > maxStates {

@@ -1,0 +1,532 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonshm/internal/machine"
+)
+
+// This file implements ParallelEngine: a work-stealing parallel
+// breadth-first search.
+//
+// Layout. Every worker owns a deque of discovered-but-unexpanded states;
+// it pops from the front (oldest first, so expansion stays roughly
+// breadth-first) and thieves steal the back half of a victim's deque, so
+// load balances without a shared queue. The visited set is a sharded
+// open-addressing fingerprint table: readers probe with atomic loads and
+// never take a lock (states are never removed, so a hit on a stale slice
+// is still a hit, and a miss falls through to a per-shard mutex that
+// re-probes before inserting). Deduplication therefore does not serialize
+// the workers — the only shared mutable state on the hot path is the
+// table's atomic slots and a handful of counters.
+//
+// Termination. A global counter tracks queued-but-unexpanded states; it
+// is incremented before a state is pushed and decremented after its
+// expansion completes, so it can only reach zero when no state is queued
+// anywhere and no expansion (which could push more) is in flight. An
+// idle worker that finds nothing to steal exits when the counter is zero.
+//
+// Cancellation. Invariant violations, step errors and the state bound set
+// a stop flag that every worker checks between successor generations, so
+// all workers quit promptly. The first invariant violation wins; its
+// counterexample trace is rebuilt after the workers have joined, from
+// per-worker append-only parent logs (node ids pack worker and log index
+// into an int64, so the logs need no cross-worker synchronization).
+
+// maxParallelWorkers bounds Options.Workers so node ids can pack the
+// worker index into the top 16 bits of an int64.
+const maxParallelWorkers = 1 << 15
+
+// parEntry is a frontier state awaiting expansion by some worker.
+type parEntry struct {
+	sys   *machine.System
+	aux   uint64
+	id    int64 // node id for trace reconstruction; -1 when Traces is off
+	depth int32
+}
+
+// parNode is one entry of a worker's parent log (Traces only).
+type parNode struct {
+	parent int64
+	how    machine.StepInfo
+}
+
+// packID builds a node id from a worker index and that worker's log index.
+func packID(worker, idx int) int64 { return int64(worker)<<48 | int64(idx) }
+
+func unpackID(id int64) (worker, idx int) {
+	return int(id >> 48), int(id & (1<<48 - 1))
+}
+
+// wsDeque is a work-stealing deque of frontier states. All operations
+// take the mutex; the owner touches it far more often than thieves, so
+// the lock is almost always uncontended. The owner pops oldest-first
+// (BFS-like order keeps counterexample depths small); thieves take the
+// newest half.
+type wsDeque struct {
+	mu   sync.Mutex
+	buf  []parEntry
+	head int
+}
+
+func (d *wsDeque) push(e parEntry) {
+	d.mu.Lock()
+	d.buf = append(d.buf, e)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) pushBatch(es []parEntry) {
+	d.mu.Lock()
+	d.buf = append(d.buf, es...)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) pop() (parEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.buf) {
+		d.buf = d.buf[:0]
+		d.head = 0
+		return parEntry{}, false
+	}
+	e := d.buf[d.head]
+	d.buf[d.head] = parEntry{} // release for GC
+	d.head++
+	if d.head >= 1024 && d.head*2 >= len(d.buf) {
+		n := copy(d.buf, d.buf[d.head:])
+		for i := n; i < len(d.buf); i++ {
+			d.buf[i] = parEntry{}
+		}
+		d.buf = d.buf[:n]
+		d.head = 0
+	}
+	return e, true
+}
+
+// stealHalf removes and returns the newest half of the deque (nil when
+// empty).
+func (d *wsDeque) stealHalf() []parEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	avail := len(d.buf) - d.head
+	if avail <= 0 {
+		return nil
+	}
+	take := (avail + 1) / 2
+	out := make([]parEntry, take)
+	copy(out, d.buf[len(d.buf)-take:])
+	tail := len(d.buf) - take
+	for i := tail; i < len(d.buf); i++ {
+		d.buf[i] = parEntry{}
+	}
+	d.buf = d.buf[:tail]
+	return out
+}
+
+// fpSlots is one immutable-size open-addressing array of fingerprints.
+// Slots hold 0 (empty) or a fingerprint; entries are never deleted.
+type fpSlots struct {
+	arr  []atomic.Uint64
+	mask uint64
+}
+
+// fpShard is one lock shard of the fingerprint table. Readers load the
+// current slots atomically and probe lock-free; writers insert (and grow)
+// under the mutex and publish new arrays with an atomic pointer store. A
+// published array is at most half full, so lock-free probes always find
+// an empty slot or the fingerprint.
+type fpShard struct {
+	mu    sync.Mutex
+	slots atomic.Pointer[fpSlots]
+	used  int      // guarded by mu
+	_     [40]byte // pad to a cache line to avoid false sharing between shards
+}
+
+// fpTable is the sharded visited set. The shard is chosen by the low
+// fingerprint bits, the probe position by higher bits, so the two are
+// uncorrelated.
+type fpTable struct {
+	shards    []fpShard
+	shardMask uint64
+}
+
+// zeroFPSubstitute replaces a fingerprint of exactly 0, which is reserved
+// for empty slots. Mapping 0 to a fixed odd constant merges it with that
+// constant's states — indistinguishable from an ordinary 2⁻⁶⁴ collision.
+const zeroFPSubstitute = 0x9e3779b97f4a7c15
+
+func newFPTable(workers int) *fpTable {
+	nShards := 64
+	for nShards < workers*8 {
+		nShards <<= 1
+	}
+	t := &fpTable{shards: make([]fpShard, nShards), shardMask: uint64(nShards - 1)}
+	for i := range t.shards {
+		s := &fpSlots{arr: make([]atomic.Uint64, 256), mask: 255}
+		t.shards[i].slots.Store(s)
+	}
+	return t
+}
+
+// insert adds fp to the table, reporting whether it was absent.
+func (t *fpTable) insert(fp uint64) bool {
+	if fp == 0 {
+		fp = zeroFPSubstitute
+	}
+	sh := &t.shards[fp&t.shardMask]
+	h := fp >> 7
+	// Lock-free fast path: either we find fp (a dedup hit, the common
+	// case in a dense state graph) or we hit an empty slot and take the
+	// slow path.
+	s := sh.slots.Load()
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		v := s.arr[i].Load()
+		if v == fp {
+			return false
+		}
+		if v == 0 {
+			break
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s = sh.slots.Load() // may have grown since the fast path
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		v := s.arr[i].Load()
+		if v == fp {
+			return false
+		}
+		if v == 0 {
+			s.arr[i].Store(fp)
+			sh.used++
+			if uint64(sh.used)*2 >= uint64(len(s.arr)) {
+				sh.grow(s)
+			}
+			return true
+		}
+	}
+}
+
+// grow doubles the shard's slot array and publishes it. Called with mu
+// held; the old array stays valid for concurrent lock-free readers.
+func (sh *fpShard) grow(old *fpSlots) {
+	ns := &fpSlots{arr: make([]atomic.Uint64, 2*len(old.arr)), mask: uint64(2*len(old.arr) - 1)}
+	for i := range old.arr {
+		v := old.arr[i].Load()
+		if v == 0 {
+			continue
+		}
+		for j := (v >> 7) & ns.mask; ; j = (j + 1) & ns.mask {
+			if ns.arr[j].Load() == 0 {
+				ns.arr[j].Store(v)
+				break
+			}
+		}
+	}
+	sh.slots.Store(ns)
+}
+
+// parWorker is one worker's private state. Only the owning goroutine
+// touches the counters and log; the deque has its own lock.
+type parWorker struct {
+	deque   wsDeque
+	steps   int64 // states expanded
+	lookups int64
+	hits    int64
+	log     []parNode // parent pointers (Traces only)
+}
+
+// parRun is the shared state of one parallel exploration.
+type parRun struct {
+	opts    Options
+	workers []parWorker
+
+	table *fpTable
+
+	states    atomic.Int64
+	edges     atomic.Int64
+	terminals atomic.Int64
+	pruned    atomic.Int64
+	maxDepth  atomic.Int64
+	pending   atomic.Int64 // queued or in-expansion states
+	peak      atomic.Int64 // high-water mark of pending
+	truncated atomic.Bool
+	stop      atomic.Bool
+
+	failMu     sync.Mutex
+	stepErr    error // first non-invariant failure
+	invErr     error // first invariant violation
+	invNode    int64 // node id of the violation (-1 without Traces)
+	progressMu sync.Mutex
+}
+
+// runParallel is the work-stealing parallel BFS engine behind Run.
+func runParallel(init *machine.System, opts Options) (Result, error) {
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > maxParallelWorkers {
+		nw = maxParallelWorkers
+	}
+	p := &parRun{
+		opts:    opts,
+		workers: make([]parWorker, nw),
+		table:   newFPTable(nw),
+	}
+
+	// Seed the root state on worker 0.
+	rootSys := init.Clone()
+	rootFP := fingerprint(rootSys, opts.InitAux)
+	p.table.insert(rootFP)
+	p.workers[0].lookups++
+	p.states.Store(1)
+	rootID := int64(-1)
+	if opts.Traces {
+		p.workers[0].log = append(p.workers[0].log, parNode{parent: -1})
+		rootID = packID(0, 0)
+	}
+	if rootSys.AllDone() {
+		p.terminals.Store(1)
+	}
+	if opts.Invariant != nil {
+		if err := opts.Invariant(Node{Sys: rootSys, Aux: opts.InitAux, Depth: 0}); err != nil {
+			res := p.result()
+			return res, &InvariantError{Err: err}
+		}
+	}
+	p.pending.Store(1)
+	p.peak.Store(1)
+	p.workers[0].deque.push(parEntry{sys: rootSys, aux: opts.InitAux, id: rootID, depth: 0})
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.work(w)
+		}(w)
+	}
+	wg.Wait()
+
+	res := p.result()
+	switch {
+	case p.invErr != nil:
+		return res, &InvariantError{Err: p.invErr, Trace: p.traceTo(p.invNode)}
+	case p.stepErr != nil:
+		return res, p.stepErr
+	}
+	return res, nil
+}
+
+// work is one worker's main loop: drain the own deque, then steal; exit
+// on stop or when no queued work remains anywhere.
+func (p *parRun) work(w int) {
+	self := &p.workers[w]
+	idle := 0
+	for {
+		if p.stop.Load() {
+			return
+		}
+		e, ok := self.deque.pop()
+		if !ok {
+			e, ok = p.steal(w)
+		}
+		if !ok {
+			if p.pending.Load() == 0 {
+				return
+			}
+			idle++
+			if idle > 8 {
+				time.Sleep(50 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		p.expand(w, e)
+		p.pending.Add(-1)
+	}
+}
+
+// steal scans the other workers round-robin and takes the newest half of
+// the first non-empty deque.
+func (p *parRun) steal(w int) (parEntry, bool) {
+	n := len(p.workers)
+	for off := 1; off < n; off++ {
+		victim := &p.workers[(w+off)%n]
+		if got := victim.stealHalf(); len(got) > 0 {
+			e := got[0]
+			if len(got) > 1 {
+				p.workers[w].deque.pushBatch(got[1:])
+			}
+			return e, true
+		}
+	}
+	return parEntry{}, false
+}
+
+func (w *parWorker) stealHalf() []parEntry { return w.deque.stealHalf() }
+
+// expand generates every successor of e, deduplicates, and queues the new
+// states on the worker's own deque.
+func (p *parRun) expand(w int, e parEntry) {
+	self := &p.workers[w]
+	self.steps++
+	if p.opts.Prune != nil && p.opts.Prune(Node{Sys: e.sys, Aux: e.aux, Depth: int(e.depth)}) {
+		p.pruned.Add(1)
+		return
+	}
+	sys := e.sys
+	for proc := 0; proc < sys.N(); proc++ {
+		if !sys.Enabled(proc) {
+			continue
+		}
+		nChoices := len(sys.Procs[proc].Pending())
+		for c := 0; c < nChoices; c++ {
+			if p.stop.Load() {
+				return
+			}
+			succ := sys.Clone()
+			info, err := succ.Step(proc, c)
+			if err != nil {
+				p.fail(fmt.Errorf("explore: %w", err))
+				return
+			}
+			p.edges.Add(1)
+			aux := e.aux
+			if p.opts.Aux != nil {
+				aux = p.opts.Aux(aux, info, succ)
+			}
+			fp := fingerprint(succ, aux)
+			self.lookups++
+			if !p.table.insert(fp) {
+				self.hits++
+				continue
+			}
+			if err := p.discovered(w, succ, aux, e.id, info, e.depth+1); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// discovered registers a newly-inserted state: counters, parent log,
+// invariant, bound check, and the frontier push. A non-nil return means
+// the search is stopping (the reason is recorded in p).
+func (p *parRun) discovered(w int, succ *machine.System, aux uint64, parent int64, info machine.StepInfo, depth int32) error {
+	self := &p.workers[w]
+	cnt := p.states.Add(1)
+	for {
+		cur := p.maxDepth.Load()
+		if int64(depth) <= cur || p.maxDepth.CompareAndSwap(cur, int64(depth)) {
+			break
+		}
+	}
+	id := int64(-1)
+	if p.opts.Traces {
+		self.log = append(self.log, parNode{parent: parent, how: info})
+		id = packID(w, len(self.log)-1)
+	}
+	if succ.AllDone() {
+		p.terminals.Add(1)
+	}
+	if p.opts.Invariant != nil {
+		if err := p.opts.Invariant(Node{Sys: succ, Aux: aux, Depth: int(depth)}); err != nil {
+			p.failInvariant(err, id)
+			return err
+		}
+	}
+	if int(cnt) > p.opts.MaxStates {
+		p.truncated.Store(true)
+		p.stop.Store(true)
+		return errStopped
+	}
+	pend := p.pending.Add(1)
+	for {
+		cur := p.peak.Load()
+		if pend <= cur || p.peak.CompareAndSwap(cur, pend) {
+			break
+		}
+	}
+	self.deque.push(parEntry{sys: succ, aux: aux, id: id, depth: depth})
+	if p.opts.Progress != nil && p.opts.ProgressEvery > 0 && cnt%int64(p.opts.ProgressEvery) == 0 {
+		p.progressMu.Lock()
+		p.opts.Progress(int(cnt), int(p.edges.Load()))
+		p.progressMu.Unlock()
+	}
+	return nil
+}
+
+// errStopped is an internal sentinel: the search hit its state bound.
+var errStopped = fmt.Errorf("explore: internal: search stopped")
+
+// fail records the first non-invariant error and cancels all workers.
+func (p *parRun) fail(err error) {
+	p.failMu.Lock()
+	if p.stepErr == nil && p.invErr == nil {
+		p.stepErr = err
+	}
+	p.failMu.Unlock()
+	p.stop.Store(true)
+}
+
+// failInvariant records the first invariant violation and cancels all
+// workers.
+func (p *parRun) failInvariant(err error, node int64) {
+	p.failMu.Lock()
+	if p.stepErr == nil && p.invErr == nil {
+		p.invErr = err
+		p.invNode = node
+	}
+	p.failMu.Unlock()
+	p.stop.Store(true)
+}
+
+// traceTo rebuilds the step sequence from the root to the given node by
+// walking the per-worker parent logs. Called only after the workers have
+// joined.
+func (p *parRun) traceTo(id int64) []machine.StepInfo {
+	if !p.opts.Traces || id < 0 {
+		return nil
+	}
+	var rev []machine.StepInfo
+	for id != packID(0, 0) {
+		w, i := unpackID(id)
+		n := p.workers[w].log[i]
+		rev = append(rev, n.how)
+		id = n.parent
+	}
+	out := make([]machine.StepInfo, len(rev))
+	for j := range rev {
+		out[j] = rev[len(rev)-1-j]
+	}
+	return out
+}
+
+// result assembles the Result from the run's counters.
+func (p *parRun) result() Result {
+	var res Result
+	res.States = int(p.states.Load())
+	res.Edges = int(p.edges.Load())
+	res.Terminals = int(p.terminals.Load())
+	res.Pruned = int(p.pruned.Load())
+	res.MaxDepth = int(p.maxDepth.Load())
+	res.Truncated = p.truncated.Load()
+	s := float64(res.States)
+	res.CollisionOdds = s * s / (2.0 * (1 << 63) * 2.0)
+	res.Stats.Workers = len(p.workers)
+	res.Stats.FrontierPeak = int(p.peak.Load())
+	res.Stats.WorkerSteps = make([]int64, len(p.workers))
+	for i := range p.workers {
+		res.Stats.WorkerSteps[i] = p.workers[i].steps
+		res.Stats.DedupLookups += p.workers[i].lookups
+		res.Stats.DedupHits += p.workers[i].hits
+	}
+	return res
+}

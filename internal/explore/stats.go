@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats instruments an exploration: how fast the engine ran, how much
+// frontier it had to hold, how often deduplication paid off, and how
+// evenly the parallel engine spread the work. Every engine fills it.
+type Stats struct {
+	// Engine is the engine that actually ran (AutoEngine resolved).
+	Engine Engine
+	// Workers is the number of expansion workers (1 for serial engines).
+	Workers int
+	// WallTime is the end-to-end duration of the search.
+	WallTime time.Duration
+	// StatesPerSec is States divided by WallTime.
+	StatesPerSec float64
+	// FrontierPeak is the largest number of discovered-but-unexpanded
+	// states held at once (queue for BFS, stack for DFS, the union of all
+	// worker deques for the parallel engine).
+	FrontierPeak int
+	// DedupLookups counts fingerprint-table probes (one per generated
+	// successor, plus one for the initial state).
+	DedupLookups int64
+	// DedupHits counts probes that found an already-known state; the hit
+	// rate DedupHits/DedupLookups is how much work fingerprinting saved.
+	DedupHits int64
+	// DedupHitRate is DedupHits/DedupLookups (0 when no lookups).
+	DedupHitRate float64
+	// WorkerSteps is the number of states expanded by each worker; a
+	// skewed distribution means work stealing failed to balance the load.
+	WorkerSteps []int64
+}
+
+// finalize derives the ratio fields once the raw counters are in.
+func (s *Stats) finalize(wall time.Duration, states int) {
+	s.WallTime = wall
+	if secs := wall.Seconds(); secs > 0 {
+		s.StatesPerSec = float64(states) / secs
+	}
+	if s.DedupLookups > 0 {
+		s.DedupHitRate = float64(s.DedupHits) / float64(s.DedupLookups)
+	}
+}
+
+// Merge folds another run's stats into s, for sweeps over many wirings:
+// durations and counters add, peaks take the maximum, and the per-worker
+// step counts add element-wise. StatesPerSec and DedupHitRate are
+// recomputed from the merged totals by the next finalize; callers that
+// merge by hand should use MergedRate.
+func (s *Stats) Merge(o Stats) {
+	if s.Engine == AutoEngine {
+		s.Engine = o.Engine
+	}
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.WallTime += o.WallTime
+	if o.FrontierPeak > s.FrontierPeak {
+		s.FrontierPeak = o.FrontierPeak
+	}
+	s.DedupLookups += o.DedupLookups
+	s.DedupHits += o.DedupHits
+	if s.DedupLookups > 0 {
+		s.DedupHitRate = float64(s.DedupHits) / float64(s.DedupLookups)
+	}
+	for len(s.WorkerSteps) < len(o.WorkerSteps) {
+		s.WorkerSteps = append(s.WorkerSteps, 0)
+	}
+	for i, n := range o.WorkerSteps {
+		s.WorkerSteps[i] += n
+	}
+}
+
+// MergedRate returns states/sec over merged stats for the given total
+// state count.
+func (s Stats) MergedRate(totalStates int) float64 {
+	if secs := s.WallTime.Seconds(); secs > 0 {
+		return float64(totalStates) / secs
+	}
+	return 0
+}
+
+// String renders a compact one-line summary for command-line tools.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine=%s workers=%d wall=%v states/sec=%.0f frontier-peak=%d dedup-hit=%.1f%%",
+		s.Engine, s.Workers, s.WallTime.Round(time.Millisecond), s.StatesPerSec,
+		s.FrontierPeak, 100*s.DedupHitRate)
+	return b.String()
+}
