@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-report
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,11 @@ verify: build vet test race
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchtime 1x .
+
+# Machine-readable benchmark artifacts: one report file per engine with
+# sweep totals, states/sec and the full metrics snapshot. Render them
+# back with `go run ./cmd/figures -load BENCH_dfs.json`.
+bench-report:
+	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine dfs -report BENCH_dfs.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine bfs -report BENCH_bfs.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine parallel -report BENCH_parallel.json

@@ -8,13 +8,21 @@
 // Wait-freedom checks need cycle detection, which the parallel engine
 // does not provide; use dfs or bfs there.
 //
+// Observability: results go to stdout; -progress diagnostics go to
+// stderr so piped output stays clean. -report FILE writes a JSON report
+// (check parameters, sweep totals, final metrics including states/sec),
+// and -http ADDR serves live metrics (/metrics) and pprof
+// (/debug/pprof/) while the search runs. cmd/figures -load renders
+// report files back into tables.
+//
 // Examples:
 //
 //	anonexplore -check safety   -inputs a,b       # snapshot-task outputs, all wirings
 //	anonexplore -check safety   -inputs a,b -engine parallel -workers 4
+//	anonexplore -check safety   -inputs a,b -report r.json
+//	anonexplore -check safety   -inputs a,b,c -http :6060 -progress 1000000
 //	anonexplore -check waitfree -inputs a,b
 //	anonexplore -check atomicity -inputs a,b      # proves atomicity at N=2
-//	anonexplore -check atomicity -inputs a,b,c -max-states 5000000
 //	anonexplore -check consensus -inputs x,y -max-ts 2
 package main
 
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"anonshm/internal/explore"
+	"anonshm/internal/obs"
 )
 
 func main() {
@@ -35,7 +44,7 @@ func main() {
 		inputsCSV  = flag.String("inputs", "a,b", "comma-separated processor inputs")
 		engineName = flag.String("engine", "auto", "explorer engine: auto | bfs | dfs | parallel")
 		workers    = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
-		progress   = flag.Int("progress", 0, "print progress every N discovered states (0 = off)")
+		progress   = flag.Int("progress", 0, "print progress to stderr every N discovered states (0 = off)")
 		nondet     = flag.Bool("nondet", true, "explore the algorithms' internal register choices")
 		canonical  = flag.Bool("canonical", true, "fix processor 0's wiring to the identity (sound symmetry reduction)")
 		level      = flag.Int("level", 0, "snapshot termination level override (0 = N)")
@@ -43,6 +52,8 @@ func main() {
 		maxTS      = flag.Int("max-ts", 2, "consensus timestamp bound")
 		trials     = flag.Int("trials", 100000, "trials for atomicity-random")
 		seed       = flag.Int64("seed", 1, "seed for atomicity-random")
+		reportPath = flag.String("report", "", "write a JSON metrics report to this file")
+		httpAddr   = flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run")
 	)
 	flag.Parse()
 	engine, err := explore.ParseEngine(*engineName)
@@ -50,14 +61,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anonexplore:", err)
 		os.Exit(2)
 	}
+	reg := obs.New()
+	if *httpAddr != "" {
+		addr, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonexplore:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "anonexplore: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", addr)
+	}
 	cli := options{
 		check: *check, inputsCSV: *inputsCSV,
 		engine: engine, workers: *workers, progress: *progress,
 		nondet: *nondet, canonical: *canonical, level: *level,
 		maxStates: *maxStates, maxTS: *maxTS, trials: *trials, seed: *seed,
 	}
-	if err := run(cli); err != nil {
-		fmt.Fprintln(os.Stderr, "anonexplore:", err)
+	rep := obs.NewReport("anonexplore", os.Args[1:])
+	runErr := run(cli, reg, rep)
+	if *reportPath != "" {
+		if runErr != nil {
+			rep.Section("error", runErr.Error())
+		}
+		rep.AddMetrics(reg)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "anonexplore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "anonexplore: wrote report to %s\n", *reportPath)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "anonexplore:", runErr)
 		os.Exit(1)
 	}
 }
@@ -77,8 +110,50 @@ type options struct {
 	seed      int64
 }
 
-func run(cli options) error {
+// sweepSection is the machine-readable form of a wiring sweep for
+// report files.
+type sweepSection struct {
+	Wirings      int     `json:"wirings"`
+	TotalStates  int     `json:"totalStates"`
+	TotalEdges   int     `json:"totalEdges"`
+	Terminals    int     `json:"terminals"`
+	MaxStates    int     `json:"maxStates"`
+	Truncated    bool    `json:"truncated"`
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wallSeconds"`
+	StatesPerSec float64 `json:"statesPerSec"`
+	FrontierPeak int     `json:"frontierPeak"`
+	DedupHitRate float64 `json:"dedupHitRate"`
+}
+
+func sectionOf(sweep explore.SweepResult) sweepSection {
+	return sweepSection{
+		Wirings:      sweep.Wirings,
+		TotalStates:  sweep.TotalStates,
+		TotalEdges:   sweep.TotalEdges,
+		Terminals:    sweep.Terminals,
+		MaxStates:    sweep.MaxStates,
+		Truncated:    sweep.Truncated,
+		Engine:       sweep.Stats.Engine.String(),
+		Workers:      sweep.Stats.Workers,
+		WallSeconds:  sweep.Stats.WallTime.Seconds(),
+		StatesPerSec: sweep.StatesPerSec(),
+		FrontierPeak: sweep.Stats.FrontierPeak,
+		DedupHitRate: sweep.Stats.DedupHitRate,
+	}
+}
+
+func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 	inputs := strings.Split(cli.inputsCSV, ",")
+	rep.Section("check", map[string]any{
+		"check":     cli.check,
+		"inputs":    inputs,
+		"engine":    cli.engine.String(),
+		"workers":   cli.workers,
+		"nondet":    cli.nondet,
+		"canonical": cli.canonical,
+	})
 	cfg := explore.SnapshotConfig{
 		Inputs:    inputs,
 		Nondet:    cli.nondet,
@@ -88,18 +163,18 @@ func run(cli options) error {
 		Traces:    true,
 		Engine:    cli.engine,
 		Workers:   cli.workers,
+		Obs:       reg,
 	}
 	if cli.progress > 0 {
 		cfg.ProgressEvery = cli.progress
-		cfg.Progress = func(states, edges int) {
-			fmt.Fprintf(os.Stderr, "... %d states, %d edges\n", states, edges)
-		}
+		cfg.Progress = progressPrinter()
 	}
 	start := time.Now()
 	switch cli.check {
 	case "safety":
 		sweep, err := explore.CheckSnapshotSafety(cfg)
 		report(sweep, start)
+		rep.Section("sweep", sectionOf(sweep))
 		if err != nil {
 			return fmt.Errorf("SAFETY VIOLATED: %w", err)
 		}
@@ -111,6 +186,7 @@ func run(cli options) error {
 			return err
 		}
 		report(sweep, start)
+		rep.Section("sweep", sectionOf(sweep))
 		if err != nil {
 			return fmt.Errorf("WAIT-FREEDOM VIOLATED: %w", err)
 		}
@@ -121,6 +197,7 @@ func run(cli options) error {
 			return err
 		}
 		fmt.Printf("elapsed %v\n", time.Since(start).Round(time.Millisecond))
+		rep.Section("witness", map[string]any{"found": r.Found, "exhaustive": r.Exhaustive})
 		if r.Found {
 			fmt.Printf("NON-ATOMICITY WITNESS: processor %d outputs %v, never the memory union\n",
 				r.Witness.Proc, r.Witness.Output)
@@ -139,6 +216,7 @@ func run(cli options) error {
 			return err
 		}
 		fmt.Printf("elapsed %v\n", time.Since(start).Round(time.Millisecond))
+		rep.Section("witness", map[string]any{"found": found, "trials": cli.trials, "seed": cli.seed})
 		if found {
 			fmt.Printf("NON-ATOMICITY WITNESS (seed %d): processor %d outputs %v\n", w.Seed, w.Proc, w.Output)
 			fmt.Printf("wirings: %v\n", w.Wirings)
@@ -153,8 +231,10 @@ func run(cli options) error {
 			MaxStates:    cli.maxStates,
 			Engine:       cli.engine,
 			Workers:      cli.workers,
+			Obs:          reg,
 		})
 		report(sweep, start)
+		rep.Section("sweep", sectionOf(sweep))
 		if err != nil {
 			return fmt.Errorf("CONSENSUS SAFETY VIOLATED: %w", err)
 		}
@@ -163,6 +243,16 @@ func run(cli options) error {
 		return fmt.Errorf("unknown check %q", cli.check)
 	}
 	return nil
+}
+
+// progressPrinter returns the -progress callback. It writes to stderr —
+// never stdout — so results and reports survive piping; the live
+// explore_live_states/explore_live_edges gauges carry the same numbers
+// to the -http endpoint.
+func progressPrinter() func(states, edges int) {
+	return func(states, edges int) {
+		fmt.Fprintf(os.Stderr, "... %d states, %d edges\n", states, edges)
+	}
 }
 
 func report(sweep explore.SweepResult, start time.Time) {

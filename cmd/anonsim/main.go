@@ -2,15 +2,25 @@
 // configurable schedulers and wirings, printing outputs and optional
 // step-by-step traces.
 //
+// Observability: -json replaces the prose output with one JSON object
+// (same shape as the "run" section of a report file); -report FILE
+// writes a JSON report with the run outcome, per-register access counts
+// and the full metrics snapshot; -events FILE streams every executed
+// step as JSONL; -http ADDR serves live metrics (/metrics) and pprof
+// (/debug/pprof/) while the simulation runs.
+//
 // Examples:
 //
 //	anonsim -algo snapshot -inputs a,b,c -sched random -seed 7
+//	anonsim -algo snapshot -inputs a,b,c -json
+//	anonsim -algo snapshot -inputs a,b -report r.json -events steps.jsonl
 //	anonsim -algo writescan -inputs 1,2,3 -wiring rotation -steps 120 -trace
 //	anonsim -algo consensus -inputs x,y -sched solo
 //	anonsim -algo renaming -inputs g1,g1,g2 -sched coverer
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -22,6 +32,7 @@ import (
 	"anonshm/internal/consensus"
 	"anonshm/internal/core"
 	"anonshm/internal/machine"
+	"anonshm/internal/obs"
 	"anonshm/internal/renaming"
 	"anonshm/internal/sched"
 	"anonshm/internal/trace"
@@ -30,37 +41,120 @@ import (
 
 func main() {
 	var (
-		algo      = flag.String("algo", "snapshot", "algorithm: snapshot | writescan | doublecollect | renaming | consensus")
-		inputsCSV = flag.String("inputs", "a,b,c", "comma-separated processor inputs (equal inputs form a group)")
-		registers = flag.Int("registers", 0, "number of registers M (0 = number of processors)")
-		schedName = flag.String("sched", "random", "scheduler: rr | random | solo | coverer")
-		wiring    = flag.String("wiring", "random", "wirings: identity | rotation | random")
-		seed      = flag.Int64("seed", 1, "seed for random wirings/scheduling")
-		steps     = flag.Int("steps", 0, "step budget (0 = generous default)")
-		showTrace = flag.Bool("trace", false, "print the execution trace")
-		nondet    = flag.Bool("nondet", false, "expose the algorithms' internal register choices to the scheduler")
+		algo       = flag.String("algo", "snapshot", "algorithm: snapshot | writescan | doublecollect | renaming | consensus")
+		inputsCSV  = flag.String("inputs", "a,b,c", "comma-separated processor inputs (equal inputs form a group)")
+		registers  = flag.Int("registers", 0, "number of registers M (0 = number of processors)")
+		schedName  = flag.String("sched", "random", "scheduler: rr | random | solo | coverer")
+		wiring     = flag.String("wiring", "random", "wirings: identity | rotation | random")
+		seed       = flag.Int64("seed", 1, "seed for random wirings/scheduling")
+		steps      = flag.Int("steps", 0, "step budget (0 = generous default)")
+		showTrace  = flag.Bool("trace", false, "print the execution trace")
+		nondet     = flag.Bool("nondet", false, "expose the algorithms' internal register choices to the scheduler")
+		jsonOut    = flag.Bool("json", false, "print the run outcome as a single JSON object instead of prose")
+		reportPath = flag.String("report", "", "write a JSON metrics report to this file")
+		eventsPath = flag.String("events", "", "stream every executed step to this file as JSONL")
+		httpAddr   = flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run")
 	)
 	flag.Parse()
-	if err := run(*algo, *inputsCSV, *registers, *schedName, *wiring, *seed, *steps, *showTrace, *nondet); err != nil {
-		fmt.Fprintln(os.Stderr, "anonsim:", err)
+	reg := obs.New()
+	if *httpAddr != "" {
+		addr, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonsim:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "anonsim: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", addr)
+	}
+	var sink *obs.Sink
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonsim:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		sink = obs.NewSink(f)
+	}
+	cli := options{
+		algo: *algo, inputsCSV: *inputsCSV, registers: *registers,
+		schedName: *schedName, wiring: *wiring, seed: *seed, steps: *steps,
+		showTrace: *showTrace, nondet: *nondet, jsonOut: *jsonOut,
+	}
+	rep := obs.NewReport("anonsim", os.Args[1:])
+	runErr := run(cli, reg, sink, rep)
+	if sink != nil && runErr == nil {
+		runErr = sink.Err()
+	}
+	if *reportPath != "" {
+		if runErr != nil {
+			rep.Section("error", runErr.Error())
+		}
+		rep.AddMetrics(reg)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "anonsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "anonsim: wrote report to %s\n", *reportPath)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "anonsim:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(algo, inputsCSV string, registers int, schedName, wiring string, seed int64, steps int, showTrace, nondet bool) error {
-	inputs := strings.Split(inputsCSV, ",")
+type options struct {
+	algo      string
+	inputsCSV string
+	registers int
+	schedName string
+	wiring    string
+	seed      int64
+	steps     int
+	showTrace bool
+	nondet    bool
+	jsonOut   bool
+}
+
+// procOutcome is one processor's result, shared between -json output and
+// the "run" report section.
+type procOutcome struct {
+	Proc   int    `json:"proc"`
+	Input  string `json:"input"`
+	Done   bool   `json:"done"`
+	Output string `json:"output,omitempty"`
+	View   string `json:"view,omitempty"`
+	Steps  int64  `json:"steps"`
+}
+
+// runOutcome is the machine-readable form of a simulation run.
+type runOutcome struct {
+	Algorithm  string                 `json:"algorithm"`
+	N          int                    `json:"n"`
+	M          int                    `json:"m"`
+	Scheduler  string                 `json:"scheduler"`
+	Wiring     string                 `json:"wiring"`
+	Seed       int64                  `json:"seed"`
+	Steps      int                    `json:"steps"`
+	Stop       string                 `json:"stop"`
+	AllDone    bool                   `json:"allDone"`
+	Processors []procOutcome          `json:"processors"`
+	Registers  []sched.RegisterAccess `json:"registers"`
+}
+
+func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error {
+	inputs := strings.Split(cli.inputsCSV, ",")
 	n := len(inputs)
 	if n == 0 || inputs[0] == "" {
 		return fmt.Errorf("no inputs")
 	}
-	m := registers
+	m := cli.registers
 	if m == 0 {
 		m = n
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(cli.seed))
 
 	var wirings [][]int
-	switch wiring {
+	switch cli.wiring {
 	case "identity":
 		wirings = anonmem.IdentityWirings(n, m)
 	case "rotation":
@@ -68,29 +162,29 @@ func run(algo, inputsCSV string, registers int, schedName, wiring string, seed i
 	case "random":
 		wirings = anonmem.RandomWirings(rng, n, m)
 	default:
-		return fmt.Errorf("unknown wiring %q", wiring)
+		return fmt.Errorf("unknown wiring %q", cli.wiring)
 	}
 
 	in := view.NewInterner()
 	machines := make([]machine.Machine, n)
 	for i, label := range inputs {
-		switch algo {
+		switch cli.algo {
 		case "snapshot":
-			machines[i] = core.NewSnapshot(n, m, in.Intern(label), nondet)
+			machines[i] = core.NewSnapshot(n, m, in.Intern(label), cli.nondet)
 		case "writescan":
-			machines[i] = core.NewWriteScan(m, in.Intern(label), nondet)
+			machines[i] = core.NewWriteScan(m, in.Intern(label), cli.nondet)
 		case "doublecollect":
 			machines[i] = baseline.NewDoubleCollect(m, in.Intern(label))
 		case "renaming":
-			machines[i] = renaming.New(n, m, in.Intern(label), nondet)
+			machines[i] = renaming.New(n, m, in.Intern(label), cli.nondet)
 		case "consensus":
-			cm, err := consensus.New(in, n, m, label, nondet)
+			cm, err := consensus.New(in, n, m, label, cli.nondet)
 			if err != nil {
 				return err
 			}
 			machines[i] = cm
 		default:
-			return fmt.Errorf("unknown algorithm %q", algo)
+			return fmt.Errorf("unknown algorithm %q", cli.algo)
 		}
 	}
 	mem, err := anonmem.New(m, core.EmptyCell, wirings)
@@ -103,73 +197,112 @@ func run(algo, inputsCSV string, registers int, schedName, wiring string, seed i
 	}
 
 	var scheduler sched.Scheduler
-	switch schedName {
+	switch cli.schedName {
 	case "rr":
 		scheduler = &sched.RoundRobin{}
 	case "random":
-		scheduler = &sched.Random{Rng: rng, ChoiceRandom: nondet}
+		scheduler = &sched.Random{Rng: rng, ChoiceRandom: cli.nondet}
 	case "solo":
 		scheduler = sched.NewSolo(n)
 	case "coverer":
 		scheduler = &sched.Coverer{}
 	default:
-		return fmt.Errorf("unknown scheduler %q", schedName)
+		return fmt.Errorf("unknown scheduler %q", cli.schedName)
 	}
 
-	budget := steps
+	budget := cli.steps
 	if budget == 0 {
 		budget = 200_000 * n * n
-		if algo == "writescan" {
+		if cli.algo == "writescan" {
 			budget = 60 * n * (m + 1) // a bounded look at the infinite loop
 		}
 	}
 
-	rec := &trace.Recorder{}
-	if showTrace {
-		rec.WordFormat = func(w anonmem.Word) string {
-			if cell, ok := w.(core.Cell); ok {
-				if cell.Level != 0 {
-					return fmt.Sprintf("%s@%d", cell.View.Format(in), cell.Level)
+	var rec *trace.Recorder
+	if cli.showTrace {
+		rec = &trace.Recorder{
+			WordFormat: func(w anonmem.Word) string {
+				if cell, ok := w.(core.Cell); ok {
+					if cell.Level != 0 {
+						return fmt.Sprintf("%s@%d", cell.View.Format(in), cell.Level)
+					}
+					return cell.View.Format(in)
 				}
-				return cell.View.Format(in)
-			}
-			return w.Key()
-		}
-		rec.ViewFormat = func(sys *machine.System, p int) string {
-			if v, ok := sys.Procs[p].(core.Viewer); ok {
-				return v.View().Format(in)
-			}
-			return sys.Procs[p].StateKey()
+				return w.Key()
+			},
+			ViewFormat: func(sys *machine.System, p int) string {
+				if v, ok := sys.Procs[p].(core.Viewer); ok {
+					return v.View().Format(in)
+				}
+				return sys.Procs[p].StateKey()
+			},
 		}
 	}
-	res, err := sched.Run(sys, scheduler, budget, rec)
+	inst := sched.NewInstrument(reg, sink)
+	var observer sched.Observer
+	if rec != nil {
+		observer = sched.Observers(rec, inst)
+	} else {
+		observer = inst
+	}
+	res, err := sched.Run(sys, scheduler, budget, observer)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("algorithm=%s n=%d m=%d scheduler=%s wiring=%s seed=%d\n", algo, n, m, schedName, wiring, seed)
-	fmt.Printf("steps=%d stop=%s\n", res.Steps, res.Reason)
+	out := runOutcome{
+		Algorithm: cli.algo, N: n, M: m,
+		Scheduler: cli.schedName, Wiring: cli.wiring, Seed: cli.seed,
+		Steps: res.Steps, Stop: res.Reason.String(), AllDone: true,
+		Registers: inst.RegisterAccess(),
+	}
+	procSteps := inst.ProcSteps()
 	for p, mm := range sys.Procs {
-		status := "running"
-		out := ""
+		pr := procOutcome{Proc: p, Input: inputs[p], Done: mm.Done()}
+		if p < len(procSteps) {
+			pr.Steps = procSteps[p]
+		}
 		if mm.Done() {
-			status = "done"
 			switch o := mm.Output().(type) {
 			case core.Cell:
-				out = o.View.Format(in)
+				pr.Output = o.View.Format(in)
 			case renaming.Name:
-				out = fmt.Sprintf("name %d", int(o))
+				pr.Output = fmt.Sprintf("name %d", int(o))
 			case consensus.Decision:
-				out = fmt.Sprintf("decided %q", string(o))
+				pr.Output = fmt.Sprintf("decided %q", string(o))
 			default:
-				out = o.Key()
+				pr.Output = o.Key()
 			}
-		} else if v, ok := mm.(core.Viewer); ok {
-			out = "view " + v.View().Format(in)
+		} else {
+			out.AllDone = false
+			if v, ok := mm.(core.Viewer); ok {
+				pr.View = v.View().Format(in)
+			}
 		}
-		fmt.Printf("p%d input=%-8q %-8s %s\n", p+1, inputs[p], status, out)
+		out.Processors = append(out.Processors, pr)
 	}
-	if showTrace {
+	rep.Section("run", out)
+
+	if cli.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Printf("algorithm=%s n=%d m=%d scheduler=%s wiring=%s seed=%d\n",
+		out.Algorithm, out.N, out.M, out.Scheduler, out.Wiring, out.Seed)
+	fmt.Printf("steps=%d stop=%s\n", out.Steps, out.Stop)
+	for _, pr := range out.Processors {
+		status := "running"
+		desc := pr.Output
+		if pr.Done {
+			status = "done"
+		} else if pr.View != "" {
+			desc = "view " + pr.View
+		}
+		fmt.Printf("p%d input=%-8q %-8s %s\n", pr.Proc+1, pr.Input, status, desc)
+	}
+	if rec != nil {
 		fmt.Println()
 		fmt.Print(rec.RenderFigure(trace.DescribeStep))
 	}

@@ -14,6 +14,12 @@
 //	figures -e fig2
 //
 // The heavyweight exhaustive N=3 experiments are gated behind -heavy.
+//
+// Report files written by anonexplore/anonsim -report render back into
+// tables with:
+//
+//	figures -load r.json
+
 package main
 
 import (
@@ -53,8 +59,16 @@ func main() {
 	var (
 		which = flag.String("e", "all", "experiment: all | "+names())
 		heavy = flag.Bool("heavy", false, "include the heavyweight exhaustive experiments")
+		load  = flag.String("load", "", "render report files written with -report (comma-separated paths) instead of running experiments")
 	)
 	flag.Parse()
+	if *load != "" {
+		if err := runLoad(strings.Split(*load, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ran := 0
 	for _, ex := range experiments {
 		if *which != "all" && *which != ex.name {

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"anonshm/internal/obs"
+	"anonshm/internal/trace"
+)
+
+// runLoad renders report files written by anonexplore/anonsim -report
+// back into readable tables: one block per file with the tool line, the
+// structured sections, and the final metrics snapshot.
+func runLoad(paths []string) error {
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Println()
+		}
+		rep, err := obs.ReadReportFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s — %s %s\n\n", path, rep.Tool, strings.Join(rep.Args, " "))
+		names := make([]string, 0, len(rep.Sections))
+		for name := range rep.Sections {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("[%s]\n", name)
+			fmt.Print(renderSection(rep.Sections[name]))
+			fmt.Println()
+		}
+		if len(rep.Metrics) > 0 {
+			fmt.Printf("[metrics]\n")
+			fmt.Print(metricsTable(rep.Metrics))
+		}
+	}
+	return nil
+}
+
+// renderSection renders one report section. JSON objects become sorted
+// key/value tables; everything else prints as compact JSON.
+func renderSection(v any) string {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return compactJSON(v) + "\n"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, []string{k, compactJSON(m[k])})
+	}
+	return trace.Table([]string{"field", "value"}, rows)
+}
+
+// metricsTable renders a metrics snapshot: name, labels, kind and value
+// (count/sum for histograms).
+func metricsTable(points []obs.MetricPoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		value := formatFloat(p.Value)
+		if p.Kind == "histogram" {
+			value = fmt.Sprintf("count=%d sum=%s", p.Count, formatFloat(p.Sum))
+		}
+		rows = append(rows, []string{p.Name, formatLabels(p.Labels), p.Kind, value})
+	}
+	return trace.Table([]string{"metric", "labels", "kind", "value"}, rows)
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func formatFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+func compactJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	return string(data)
+}

@@ -41,4 +41,11 @@
 // detection, parallelism), and returns per-run Stats (states/sec, peak
 // frontier, dedup hit rate). See internal/explore's package documentation
 // for the engine-selection table.
+//
+// Observability is unified in internal/obs: a dependency-free atomic
+// metrics registry and JSONL event sink that the explorer, the simulated
+// scheduler (sched.Instrument) and the goroutine runtime all publish
+// through. Instrumentation is nil-safe and free when disabled; the
+// cmd/anonexplore and cmd/anonsim binaries expose it via -report (JSON
+// report files), -json, and -http (live metrics plus pprof).
 package anonshm

@@ -7,6 +7,7 @@ import (
 	"anonshm/internal/consensus"
 	"anonshm/internal/core"
 	"anonshm/internal/machine"
+	"anonshm/internal/obs"
 	"anonshm/internal/view"
 )
 
@@ -92,6 +93,12 @@ type SnapshotConfig struct {
 	// progress callbacks (states, edges discovered so far).
 	Progress      func(states, edges int)
 	ProgressEvery int
+	// Obs, when set, publishes every per-wiring run through the metrics
+	// registry (see Options.Obs); counters accumulate across the sweep.
+	Obs *obs.Registry
+	// Events, when set, receives engine.start/engine.finish events for
+	// every per-wiring run.
+	Events *obs.Sink
 }
 
 // engine resolves the configured engine, defaulting to DFS.
@@ -111,6 +118,8 @@ func (c SnapshotConfig) options() Options {
 		Traces:        c.Traces,
 		Progress:      c.Progress,
 		ProgressEvery: c.ProgressEvery,
+		Obs:           c.Obs,
+		Events:        c.Events,
 	}
 }
 
@@ -395,6 +404,11 @@ type ConsensusConfig struct {
 	Engine Engine
 	// Workers is the ParallelEngine worker count (0 = GOMAXPROCS).
 	Workers int
+	// Obs, when set, publishes every per-wiring run through the metrics
+	// registry (see Options.Obs).
+	Obs *obs.Registry
+	// Events, when set, receives engine.start/engine.finish events.
+	Events *obs.Sink
 }
 
 // CheckConsensusBounded explores the Figure 5 consensus algorithm up to a
@@ -453,6 +467,8 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 			MaxStates: c.MaxStates,
 			Invariant: invariant,
 			Prune:     prune,
+			Obs:       c.Obs,
+			Events:    c.Events,
 		})
 		sweep.accumulate(res)
 		return err

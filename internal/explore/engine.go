@@ -133,6 +133,8 @@ func Run(init *machine.System, opts Options) (Result, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
+	opts = hookObsProgress(opts)
+	emitEngineStart(opts.Events, engine, opts.Workers)
 
 	start := time.Now()
 	var (
@@ -154,6 +156,8 @@ func Run(init *machine.System, opts Options) (Result, error) {
 		res.Stats.Workers = 1
 	}
 	res.Stats.finalize(time.Since(start), res.States)
+	publishStats(opts.Obs, res)
+	emitEngineFinish(opts.Events, res, err)
 	return res, err
 }
 

@@ -46,6 +46,7 @@ import (
 	"strings"
 
 	"anonshm/internal/machine"
+	"anonshm/internal/obs"
 )
 
 // Node is a discovered state plus its auxiliary value.
@@ -88,6 +89,15 @@ type Options struct {
 	// Progress, when set, is called every ProgressEvery discovered states.
 	Progress      func(states, edges int)
 	ProgressEvery int
+	// Obs, when set, publishes the run through the metrics registry:
+	// live explore_live_states/explore_live_edges gauges on the Progress
+	// cadence (ProgressEvery defaults to 100k when unset) and the final
+	// Stats as explore_* counters, gauges and histograms. Nil disables
+	// publication at no hot-path cost.
+	Obs *obs.Registry
+	// Events, when set, receives engine.start/engine.finish JSONL events
+	// describing the run.
+	Events *obs.Sink
 }
 
 // DefaultMaxStates bounds explorations unless overridden.

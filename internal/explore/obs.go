@@ -1,0 +1,101 @@
+package explore
+
+import (
+	"strconv"
+
+	"anonshm/internal/obs"
+)
+
+// This file publishes engine instrumentation through internal/obs. Run
+// wires it automatically when Options.Obs is set: the search's live
+// progress appears as gauges while it executes (so -http endpoints show
+// a moving picture), and the final Stats land as counters/gauges/
+// histograms when it finishes. Metric names are part of the report
+// schema documented in the README's Observability section.
+
+// obsProgressDefault is the progress cadence used when a registry is
+// attached but the caller did not pick one: frequent enough for live
+// dashboards, rare enough to stay off the hot path.
+const obsProgressDefault = 100_000
+
+// hookObsProgress wraps opts.Progress so discovered-state callbacks also
+// refresh the live gauges. Returns opts unchanged when no registry is
+// attached.
+func hookObsProgress(opts Options) Options {
+	if opts.Obs == nil {
+		return opts
+	}
+	states := opts.Obs.Gauge("explore_live_states")
+	edges := opts.Obs.Gauge("explore_live_edges")
+	user := opts.Progress
+	opts.Progress = func(s, e int) {
+		states.Set(float64(s))
+		edges.Set(float64(e))
+		if user != nil {
+			user(s, e)
+		}
+	}
+	if opts.ProgressEvery <= 0 {
+		opts.ProgressEvery = obsProgressDefault
+	}
+	return opts
+}
+
+// exploreWallBuckets spans 100µs to 1000s exponentially.
+var exploreWallBuckets = obs.ExpBuckets(1e-4, 10, 8)
+
+// publishStats records one finished run into the registry. Counters
+// accumulate across runs (a wiring sweep is many runs), gauges hold the
+// latest run's derived rates, and the wall-time histogram gives the
+// run-length distribution of a sweep.
+func publishStats(reg *obs.Registry, res Result) {
+	if reg == nil {
+		return
+	}
+	engine := obs.L("engine", res.Stats.Engine.String())
+	reg.Counter("explore_runs_total", engine).Inc()
+	reg.Counter("explore_states_total", engine).Add(int64(res.States))
+	reg.Counter("explore_edges_total", engine).Add(int64(res.Edges))
+	reg.Counter("explore_terminals_total", engine).Add(int64(res.Terminals))
+	reg.Counter("explore_pruned_total", engine).Add(int64(res.Pruned))
+	reg.Counter("explore_dedup_lookups_total", engine).Add(res.Stats.DedupLookups)
+	reg.Counter("explore_dedup_hits_total", engine).Add(res.Stats.DedupHits)
+	if res.Truncated {
+		reg.Counter("explore_truncated_total", engine).Inc()
+	}
+	reg.Gauge("explore_states_per_sec", engine).Set(res.Stats.StatesPerSec)
+	reg.Gauge("explore_dedup_hit_rate", engine).Set(res.Stats.DedupHitRate)
+	reg.Gauge("explore_frontier_peak", engine).Set(float64(res.Stats.FrontierPeak))
+	reg.Gauge("explore_workers", engine).Set(float64(res.Stats.Workers))
+	reg.Histogram("explore_wall_seconds", exploreWallBuckets, engine).
+		Observe(res.Stats.WallTime.Seconds())
+	for w, steps := range res.Stats.WorkerSteps {
+		reg.Counter("explore_worker_steps_total", engine, obs.L("worker", strconv.Itoa(w))).Add(steps)
+	}
+}
+
+// emitEngineEvents writes the engine.start/engine.finish event pair for
+// one run to the sink (no-op on a nil sink).
+func emitEngineStart(sink *obs.Sink, engine Engine, workers int) {
+	sink.Emit("engine.start", -1, map[string]any{
+		"engine":  engine.String(),
+		"workers": workers,
+	})
+}
+
+func emitEngineFinish(sink *obs.Sink, res Result, err error) {
+	fields := map[string]any{
+		"engine":       res.Stats.Engine.String(),
+		"states":       res.States,
+		"edges":        res.Edges,
+		"terminals":    res.Terminals,
+		"maxDepth":     res.MaxDepth,
+		"truncated":    res.Truncated,
+		"statesPerSec": res.Stats.StatesPerSec,
+		"wallSeconds":  res.Stats.WallTime.Seconds(),
+	}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	sink.Emit("engine.finish", -1, fields)
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured run/step/engine event, serialized as a single
+// JSON line. T is the logical time of the event within its run (a step
+// index for schedulers, -1 when inapplicable); wall-clock timestamps are
+// deliberately absent so event streams are reproducible byte for byte.
+type Event struct {
+	Seq    int64          `json:"seq"`
+	T      int            `json:"t"`
+	Type   string         `json:"type"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Sink serializes events as JSONL to a writer. It is safe for concurrent
+// use; the first write error latches and suppresses further writes
+// (check Err after the run). A nil Sink drops every event.
+type Sink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq int64
+	err error
+}
+
+// NewSink returns a sink writing JSONL to w.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event. Fields must be JSON-marshalable; the map is
+// encoded under the sink's lock, so callers should not mutate it after
+// the call.
+func (s *Sink) Emit(typ string, t int, fields map[string]any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	s.err = s.enc.Encode(Event{Seq: s.seq, T: t, Type: typ, Fields: fields})
+}
+
+// Err returns the first write/encode error, if any.
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Count returns how many events were accepted.
+func (s *Sink) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

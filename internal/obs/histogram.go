@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf overflow bucket. Buckets are fixed at construction, so Observe is
+// a branch-free-ish binary search plus two atomic adds — safe for
+// concurrent use and cheap enough for hot loops. A nil Histogram is a
+// no-op.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; the +Inf bucket is implicit
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot renders the cumulative bucket counts.
+func (h *Histogram) snapshot() (count int64, sum float64, buckets []BucketCount) {
+	count = h.Count()
+	sum = h.Sum()
+	buckets = make([]BucketCount, 0, len(h.counts))
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		buckets = append(buckets, BucketCount{Le: le, Count: cum})
+	}
+	return count, sum, buckets
+}
+
+// ExpBuckets returns n exponentially-spaced bucket bounds starting at
+// start and multiplying by factor — the usual shape for latencies
+// (e.g. ExpBuckets(1e-4, 10, 8) spans 100µs to 1000s).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is a machine-readable run artifact: which tool ran with which
+// arguments, tool-specific result sections, and a final metrics
+// snapshot. cmd/anonexplore and cmd/anonsim write reports with -report,
+// and cmd/figures renders them back with -load, so experiment outputs
+// round-trip as reproducible files (the seed of the bench trajectory:
+// see `make bench-report`).
+type Report struct {
+	// Tool names the producing command (e.g. "anonexplore").
+	Tool string `json:"tool"`
+	// Args are the command-line arguments of the run.
+	Args []string `json:"args,omitempty"`
+	// Sections hold tool-specific structured results keyed by name.
+	Sections map[string]any `json:"sections,omitempty"`
+	// Metrics is the registry snapshot at the end of the run.
+	Metrics []MetricPoint `json:"metrics,omitempty"`
+}
+
+// NewReport starts a report for tool with the given arguments.
+func NewReport(tool string, args []string) *Report {
+	return &Report{Tool: tool, Args: args, Sections: make(map[string]any)}
+}
+
+// Section attaches a structured result under name.
+func (rep *Report) Section(name string, v any) {
+	if rep.Sections == nil {
+		rep.Sections = make(map[string]any)
+	}
+	rep.Sections[name] = v
+}
+
+// AddMetrics snapshots reg into the report (appending, so several
+// registries can contribute).
+func (rep *Report) AddMetrics(reg *Registry) {
+	rep.Metrics = append(rep.Metrics, reg.Snapshot()...)
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (rep *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadReportFile parses a report previously written by WriteFile.
+func ReadReportFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read report: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("obs: parse report %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,102 @@
+package runtime
+
+import (
+	"testing"
+
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/obs"
+	"anonshm/internal/view"
+)
+
+func snapshotMachines(n int) []machine.Machine {
+	in := view.NewInterner()
+	machines := make([]machine.Machine, n)
+	for p := 0; p < n; p++ {
+		machines[p] = core.NewSnapshot(n, n, in.Intern(string(rune('a'+p))), false)
+	}
+	return machines
+}
+
+// TestRegisterCounters runs the Figure 3 snapshot algorithm on real
+// goroutines with counting enabled and checks the per-register totals
+// are consistent with the machines' step counts.
+func TestRegisterCounters(t *testing.T) {
+	const n = 3
+	out, err := Run(Config{
+		Registers: n,
+		Initial:   core.EmptyCell,
+		Seed:      7,
+		Counters:  true,
+		Yield:     true,
+	}, snapshotMachines(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := out.Memory.Counters()
+	if counts == nil {
+		t.Fatal("counters enabled but Counters() == nil")
+	}
+	if len(counts.Reads) != n || len(counts.Writes) != n || len(counts.Coverings) != n {
+		t.Fatalf("counter lengths = %d/%d/%d, want %d each",
+			len(counts.Reads), len(counts.Writes), len(counts.Coverings), n)
+	}
+	var reads, writes, coverings, steps int64
+	for g := 0; g < n; g++ {
+		reads += counts.Reads[g]
+		writes += counts.Writes[g]
+		coverings += counts.Coverings[g]
+		if counts.Coverings[g] > counts.Writes[g] {
+			t.Errorf("register %d: coverings %d > writes %d", g, counts.Coverings[g], counts.Writes[g])
+		}
+	}
+	for _, s := range out.Steps {
+		steps += int64(s)
+	}
+	// Every step is a read, a write, or one output per processor.
+	if reads+writes != steps-int64(n) {
+		t.Errorf("reads+writes = %d, want steps-outputs = %d", reads+writes, steps-int64(n))
+	}
+	if writes == 0 || reads == 0 {
+		t.Errorf("no accesses counted: reads=%d writes=%d", reads, writes)
+	}
+
+	reg := obs.New()
+	out.Memory.PublishMetrics(reg)
+	var published int64
+	for _, p := range reg.Snapshot() {
+		if p.Name == "runtime_register_reads_total" {
+			published += int64(p.Value)
+		}
+	}
+	if published != reads {
+		t.Errorf("published reads = %d, want %d", published, reads)
+	}
+}
+
+// TestCountersDisabled checks the default path stays counter-free.
+func TestCountersDisabled(t *testing.T) {
+	const n = 2
+	out, err := Run(Config{Registers: n, Initial: core.EmptyCell, Seed: 1}, snapshotMachines(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Memory.Counters() != nil {
+		t.Error("counters reported without being enabled")
+	}
+	out.Memory.PublishMetrics(obs.New()) // must be a no-op, not a panic
+}
+
+// TestEnableCountersIdempotent checks double-enabling keeps counts.
+func TestEnableCountersIdempotent(t *testing.T) {
+	sm, err := NewSharedMemory(1, core.EmptyCell, [][]int{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.EnableCounters()
+	sm.Write(0, 0, core.EmptyCell)
+	sm.EnableCounters()
+	if got := sm.Counters().Writes[0]; got != 1 {
+		t.Errorf("writes = %d after re-enable, want 1", got)
+	}
+}

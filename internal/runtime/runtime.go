@@ -13,18 +13,32 @@ import (
 	"fmt"
 	"math/rand"
 	goruntime "runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"anonshm/internal/anonmem"
 	"anonshm/internal/machine"
+	"anonshm/internal/obs"
 )
 
 // SharedMemory is a linearizable, fully-anonymous register file safe for
 // concurrent use.
 type SharedMemory struct {
-	cells []atomic.Pointer[anonmem.Word]
-	perms [][]int
+	cells  []atomic.Pointer[anonmem.Word]
+	perms  [][]int
+	counts *regCounters
+}
+
+// regCounters is the optional per-register instrumentation: how often
+// each global register is read, written, and covered (overwritten by a
+// different processor with different contents) under real goroutines —
+// the measurable form of the contention the paper's model reasons about.
+type regCounters struct {
+	reads      []atomic.Int64
+	writes     []atomic.Int64
+	coverings  []atomic.Int64
+	lastWriter []atomic.Int32 // processor of the last write, or -1
 }
 
 // NewSharedMemory creates m registers initialized to initial, wired
@@ -46,14 +60,52 @@ func NewSharedMemory(m int, initial anonmem.Word, perms [][]int) (*SharedMemory,
 	return sm, nil
 }
 
+// EnableCounters switches on per-register read/write/covering counting.
+// Call it before handing the memory to concurrent processors; enabling
+// mid-run races with the hot path's nil check.
+func (sm *SharedMemory) EnableCounters() {
+	if sm.counts != nil {
+		return
+	}
+	m := len(sm.cells)
+	c := &regCounters{
+		reads:      make([]atomic.Int64, m),
+		writes:     make([]atomic.Int64, m),
+		coverings:  make([]atomic.Int64, m),
+		lastWriter: make([]atomic.Int32, m),
+	}
+	for g := range c.lastWriter {
+		c.lastWriter[g].Store(-1)
+	}
+	sm.counts = c
+}
+
 // Read atomically reads processor p's local register index.
 func (sm *SharedMemory) Read(p, local int) anonmem.Word {
-	return *sm.cells[sm.perms[p][local]].Load()
+	g := sm.perms[p][local]
+	if c := sm.counts; c != nil {
+		c.reads[g].Add(1)
+	}
+	return *sm.cells[g].Load()
 }
 
 // Write atomically writes processor p's local register index.
 func (sm *SharedMemory) Write(p, local int, w anonmem.Word) {
-	sm.cells[sm.perms[p][local]].Store(&w)
+	g := sm.perms[p][local]
+	if c := sm.counts; c != nil {
+		c.writes[g].Add(1)
+		// Covering detection is approximate under concurrency: the
+		// last-writer swap and the content load are not atomic with the
+		// store below, so a racing writer can skew a count by one. The
+		// counters are a contention heatmap, not linearizable history.
+		prev := c.lastWriter[g].Swap(int32(p))
+		if prev >= 0 && prev != int32(p) {
+			if old := sm.cells[g].Load(); (*old).Key() != w.Key() {
+				c.coverings[g].Add(1)
+			}
+		}
+	}
+	sm.cells[g].Store(&w)
 }
 
 // Snapshot returns the current contents (not atomic across registers;
@@ -64,6 +116,50 @@ func (sm *SharedMemory) Snapshot() []anonmem.Word {
 		out[i] = *sm.cells[i].Load()
 	}
 	return out
+}
+
+// RegisterCounts is a snapshot of the per-register access counters,
+// indexed by global register.
+type RegisterCounts struct {
+	Reads     []int64 `json:"reads"`
+	Writes    []int64 `json:"writes"`
+	Coverings []int64 `json:"coverings"`
+}
+
+// Counters snapshots the per-register access counts, or nil when
+// counting was never enabled.
+func (sm *SharedMemory) Counters() *RegisterCounts {
+	c := sm.counts
+	if c == nil {
+		return nil
+	}
+	out := &RegisterCounts{
+		Reads:     make([]int64, len(c.reads)),
+		Writes:    make([]int64, len(c.writes)),
+		Coverings: make([]int64, len(c.coverings)),
+	}
+	for g := range c.reads {
+		out.Reads[g] = c.reads[g].Load()
+		out.Writes[g] = c.writes[g].Load()
+		out.Coverings[g] = c.coverings[g].Load()
+	}
+	return out
+}
+
+// PublishMetrics copies the per-register counters into reg as
+// runtime_register_{reads,writes,coverings}_total{register} counters.
+// No-op when counting is disabled or reg is nil.
+func (sm *SharedMemory) PublishMetrics(reg *obs.Registry) {
+	counts := sm.Counters()
+	if counts == nil || reg == nil {
+		return
+	}
+	for g := range counts.Reads {
+		r := obs.L("register", strconv.Itoa(g))
+		reg.Counter("runtime_register_reads_total", r).Add(counts.Reads[g])
+		reg.Counter("runtime_register_writes_total", r).Add(counts.Writes[g])
+		reg.Counter("runtime_register_coverings_total", r).Add(counts.Coverings[g])
+	}
 }
 
 // Config configures a concurrent run.
@@ -83,6 +179,10 @@ type Config struct {
 	// Yield makes every processor yield to the Go scheduler between steps,
 	// increasing interleaving diversity on few-core machines.
 	Yield bool
+	// Counters enables per-register read/write/covering counting on the
+	// shared memory (see SharedMemory.Counters); the cost is a few atomic
+	// adds per memory operation.
+	Counters bool
 }
 
 // Outcome reports a concurrent run.
@@ -120,6 +220,9 @@ func Run(cfg Config, machines []machine.Machine) (*Outcome, error) {
 	sm, err := NewSharedMemory(cfg.Registers, cfg.Initial, perms)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Counters {
+		sm.EnableCounters()
 	}
 	out := &Outcome{
 		Outputs: make([]anonmem.Word, n),

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"strconv"
+
+	"anonshm/internal/machine"
+	"anonshm/internal/obs"
+)
+
+// This file is the obs-backed observer for simulated runs: it turns the
+// step stream of a Run into the registry metrics and JSONL events that
+// cmd/anonsim reports, making the paper's central quantities — which
+// registers are covered, who reads from whom, how steps spread across
+// processors — machine-readable instead of table-only.
+
+// Instrument is a sched.Observer that records per-processor step counts,
+// per-register access counts, read-from edges and covering events into a
+// metrics registry, and (optionally) every step as a JSONL event.
+//
+// Metric families (all counters):
+//
+//	sched_proc_steps_total{proc}          steps taken by each processor
+//	sched_ops_total{op}                   steps by kind (read/write/output)
+//	sched_register_reads_total{register}  reads of each global register
+//	sched_register_writes_total{register} writes of each global register
+//	sched_register_coverings_total{register}
+//	                                      destructive overwrites: a write
+//	                                      replacing a DIFFERENT word last
+//	                                      written by a DIFFERENT processor
+//	                                      (the paper's covering events)
+//	sched_readfrom_total{reader,writer}   reads-from relation edges
+//
+// Handles are cached per processor/register index, so the per-step cost
+// is a few atomic adds. A nil registry records nothing; a nil sink emits
+// nothing.
+type Instrument struct {
+	reg  *obs.Registry
+	sink *obs.Sink
+
+	procSteps    []*obs.Counter
+	regReads     []*obs.Counter
+	regWrites    []*obs.Counter
+	regCoverings []*obs.Counter
+	readOps      *obs.Counter
+	writeOps     *obs.Counter
+	outputOps    *obs.Counter
+	readFrom     map[[2]int]*obs.Counter
+}
+
+// NewInstrument returns an Instrument publishing to reg and, when sink
+// is non-nil, emitting one "step" event per executed step.
+func NewInstrument(reg *obs.Registry, sink *obs.Sink) *Instrument {
+	return &Instrument{
+		reg:       reg,
+		sink:      sink,
+		readOps:   reg.Counter("sched_ops_total", obs.L("op", "read")),
+		writeOps:  reg.Counter("sched_ops_total", obs.L("op", "write")),
+		outputOps: reg.Counter("sched_ops_total", obs.L("op", "output")),
+		readFrom:  make(map[[2]int]*obs.Counter),
+	}
+}
+
+// grow extends a cached handle slice up to index i for family name with
+// label key idxLabel.
+func (in *Instrument) grow(s []*obs.Counter, i int, name, idxLabel string) []*obs.Counter {
+	for len(s) <= i {
+		s = append(s, in.reg.Counter(name, obs.L(idxLabel, strconv.Itoa(len(s)))))
+	}
+	return s
+}
+
+// OnStep implements Observer.
+func (in *Instrument) OnStep(t int, info machine.StepInfo, sys *machine.System) {
+	p := info.Proc
+	in.procSteps = in.grow(in.procSteps, p, "sched_proc_steps_total", "proc")
+	in.procSteps[p].Inc()
+
+	covering := false
+	switch info.Op.Kind {
+	case machine.OpRead:
+		in.readOps.Inc()
+		if g := info.Global; g >= 0 {
+			in.regReads = in.grow(in.regReads, g, "sched_register_reads_total", "register")
+			in.regReads[g].Inc()
+		}
+		if q := info.ReadFrom; q >= 0 {
+			key := [2]int{p, q}
+			c, ok := in.readFrom[key]
+			if !ok {
+				c = in.reg.Counter("sched_readfrom_total",
+					obs.L("reader", strconv.Itoa(p)), obs.L("writer", strconv.Itoa(q)))
+				in.readFrom[key] = c
+			}
+			c.Inc()
+		}
+	case machine.OpWrite:
+		in.writeOps.Inc()
+		if g := info.Global; g >= 0 {
+			in.regWrites = in.grow(in.regWrites, g, "sched_register_writes_total", "register")
+			in.regWrites[g].Inc()
+			if info.PrevWriter >= 0 && info.PrevWriter != p &&
+				info.Overwrote != nil && info.Overwrote.Key() != info.Op.Word.Key() {
+				covering = true
+				in.regCoverings = in.grow(in.regCoverings, g, "sched_register_coverings_total", "register")
+				in.regCoverings[g].Inc()
+			}
+		}
+	case machine.OpOutput:
+		in.outputOps.Inc()
+	}
+
+	if in.sink != nil {
+		fields := map[string]any{
+			"proc": p,
+			"op":   info.Op.Kind.String(),
+		}
+		if info.Global >= 0 {
+			fields["register"] = info.Global
+		}
+		if info.Op.Kind == machine.OpRead && info.ReadFrom >= 0 {
+			fields["readFrom"] = info.ReadFrom
+		}
+		if covering {
+			fields["covering"] = true
+			fields["overwrote"] = info.PrevWriter
+		}
+		in.sink.Emit("step", t, fields)
+	}
+}
+
+// RegisterAccess is the per-register access summary of an instrumented
+// run — the covering heatmap in table form.
+type RegisterAccess struct {
+	Register  int   `json:"register"`
+	Reads     int64 `json:"reads"`
+	Writes    int64 `json:"writes"`
+	Coverings int64 `json:"coverings"`
+}
+
+// RegisterAccess returns the per-register counts observed so far, one
+// entry per global register that was ever touched.
+func (in *Instrument) RegisterAccess() []RegisterAccess {
+	n := len(in.regReads)
+	if len(in.regWrites) > n {
+		n = len(in.regWrites)
+	}
+	out := make([]RegisterAccess, n)
+	for g := range out {
+		out[g].Register = g
+		if g < len(in.regReads) {
+			out[g].Reads = in.regReads[g].Value()
+		}
+		if g < len(in.regWrites) {
+			out[g].Writes = in.regWrites[g].Value()
+		}
+		if g < len(in.regCoverings) {
+			out[g].Coverings = in.regCoverings[g].Value()
+		}
+	}
+	return out
+}
+
+// ProcSteps returns the per-processor step counts observed so far.
+func (in *Instrument) ProcSteps() []int64 {
+	out := make([]int64, len(in.procSteps))
+	for p, c := range in.procSteps {
+		out[p] = c.Value()
+	}
+	return out
+}
+
+var _ Observer = (*Instrument)(nil)
+
+// multiObserver fans one step out to several observers.
+type multiObserver []Observer
+
+// OnStep implements Observer.
+func (m multiObserver) OnStep(t int, info machine.StepInfo, sys *machine.System) {
+	for _, o := range m {
+		o.OnStep(t, info, sys)
+	}
+}
+
+// Observers combines observers into one, skipping nils. It returns nil
+// when none remain and the sole observer when one does, so Run's obs-nil
+// fast path is preserved.
+func Observers(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiObserver(live)
+}

@@ -1,0 +1,125 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/obs"
+	"anonshm/internal/sched"
+	"anonshm/internal/stableview"
+	"anonshm/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// replayFigure2 runs the paper's Figure 2 script (the prefix plus one
+// full cycle) with a fully-snapshotting Recorder.
+func replayFigure2(t *testing.T) *trace.Recorder {
+	t.Helper()
+	sys, in, err := stableview.Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{
+		WordFormat: func(w anonmem.Word) string {
+			if cell, ok := w.(core.Cell); ok {
+				return cell.View.Format(in)
+			}
+			return w.Key()
+		},
+		ViewFormat: func(sys *machine.System, p int) string {
+			if v, ok := sys.Procs[p].(core.Viewer); ok {
+				return v.View().Format(in)
+			}
+			return sys.Procs[p].StateKey()
+		},
+	}
+	script := append(stableview.Figure2Prefix(), stableview.Figure2Cycle()...)
+	res, err := sched.Run(sys, &sched.Scripted{Script: script}, len(script)+1, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != len(script) {
+		t.Fatalf("replayed %d steps, want %d", res.Steps, len(script))
+	}
+	return rec
+}
+
+// TestFigure2RenderGolden replays the Figure 2 script and pins the
+// rendered table byte for byte, so Recorder/Table/DescribeStep output
+// stays stable. Regenerate with `go test ./internal/trace/ -update`.
+func TestFigure2RenderGolden(t *testing.T) {
+	rec := replayFigure2(t)
+	got := rec.RenderFigure(trace.DescribeStep)
+
+	golden := filepath.Join("testdata", "figure2.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered Figure 2 table drifted from golden file.\ngot:\n%s\nwant:\n%s\n(run with -update to accept)", got, want)
+	}
+}
+
+// TestFigure2RecorderFacts cross-checks the recorded stream against the
+// paper's table: the cycle's covering writes are visible as destructive
+// overwrites and the step split is one write plus a full scan per
+// macro-row.
+func TestFigure2RecorderFacts(t *testing.T) {
+	rec := replayFigure2(t)
+	script := append(stableview.Figure2Prefix(), stableview.Figure2Cycle()...)
+	if rec.Len() != len(script) {
+		t.Fatalf("recorded %d events, want %d", rec.Len(), len(script))
+	}
+	if ov := rec.Overwrites(); ov == 0 {
+		t.Error("no destructive overwrites recorded in the Figure 2 churn")
+	}
+	steps := rec.Steps()
+	// 14 macro-iterations of 4 steps: p1 runs 6 of them, p2 and p3 four each.
+	if steps[0] != 24 || steps[1] != 16 || steps[2] != 16 {
+		t.Errorf("per-processor steps = %v, want map[0:24 1:16 2:16]", steps)
+	}
+}
+
+// TestFigure2WriteJSONL checks the machine-readable form of the same
+// replay: one valid JSON line per step, snapshots included.
+func TestFigure2WriteJSONL(t *testing.T) {
+	rec := replayFigure2(t)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != rec.Len() {
+		t.Fatalf("got %d JSONL lines, want %d", len(lines), rec.Len())
+	}
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if ev.Type != "step" || ev.T != i {
+			t.Fatalf("line %d = %+v", i, ev)
+		}
+		if _, ok := ev.Fields["registers"]; !ok {
+			t.Fatalf("line %d missing register snapshot", i)
+		}
+	}
+}

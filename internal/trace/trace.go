@@ -10,10 +10,12 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"anonshm/internal/anonmem"
 	"anonshm/internal/machine"
+	"anonshm/internal/obs"
 )
 
 // Event is one recorded step.
@@ -172,6 +174,35 @@ func (r *Recorder) RenderFigure(actions func(ev Event) string) string {
 		rows = append(rows, row)
 	}
 	return Table(header, rows)
+}
+
+// WriteJSONL serializes the recorded events as obs-style JSONL, one
+// "step" event per line with the processor, op kind, touched register,
+// reads-from edge and any captured register/view snapshots — the
+// machine-readable counterpart of RenderFigure.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	sink := obs.NewSink(w)
+	for _, ev := range r.Events {
+		in := ev.Info
+		fields := map[string]any{
+			"proc": in.Proc,
+			"op":   in.Op.Kind.String(),
+		}
+		if in.Global >= 0 {
+			fields["register"] = in.Global
+		}
+		if in.Op.Kind == machine.OpRead && in.ReadFrom >= 0 {
+			fields["readFrom"] = in.ReadFrom
+		}
+		if len(ev.Registers) > 0 {
+			fields["registers"] = ev.Registers
+		}
+		if len(ev.Views) > 0 {
+			fields["views"] = ev.Views
+		}
+		sink.Emit("step", ev.T, fields)
+	}
+	return sink.Err()
 }
 
 // DescribeStep renders a default action description for an event.
