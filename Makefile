@@ -11,11 +11,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# The explorer and runtime are the only packages with real concurrency;
-# everything else is single-threaded model code, so the race detector
-# runs only where it can find something.
+# The explorer, scheduler (crash adversary) and runtime are the packages
+# with real concurrency or fault injection; everything else is
+# single-threaded model code, so the race detector runs only where it can
+# find something. -short skips the N=3 crash spaces, which the plain test
+# target still covers.
 race:
-	$(GO) test -race ./internal/explore/ ./internal/runtime/
+	$(GO) test -race -short ./internal/explore/ ./internal/sched/ ./internal/runtime/
 
 # Extended tier-1 gate: what CI (and ROADMAP.md) require before merge.
 verify: build vet test race
@@ -30,3 +32,4 @@ bench-report:
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine dfs -report BENCH_dfs.json
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine bfs -report BENCH_bfs.json
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine parallel -report BENCH_parallel.json
+	$(GO) run ./cmd/anonexplore -check waitfree -inputs a,b -crashes 1 -engine parallel -report BENCH_crash_parallel.json

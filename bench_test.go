@@ -127,6 +127,23 @@ func BenchmarkExploreWaitFree(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreCrash measures the crash-augmented N=2 wait-freedom
+// check: a crash budget of N−1 plus the solo-termination invariant at
+// every reachable state.
+func BenchmarkExploreCrash(b *testing.B) {
+	var states int
+	for i := 0; i < b.N; i++ {
+		sweep, err := explore.CheckSnapshotWaitFree(explore.SnapshotConfig{
+			Inputs: []string{"a", "b"}, Nondet: true, Canonical: true, MaxCrashes: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = sweep.TotalStates
+	}
+	b.ReportMetric(float64(states), "states/op")
+}
+
 // BenchmarkAtomicityWitnessSearch measures the exhaustive N=2 atomicity
 // proof (E5): no witness exists at N=2.
 func BenchmarkAtomicityWitnessSearch(b *testing.B) {

@@ -5,8 +5,13 @@
 // The search backend is selectable: -engine bfs|dfs|parallel picks the
 // explorer engine (dfs by default — smallest memory footprint), and
 // -workers sets the parallel engine's worker count (0 = all cores).
-// Wait-freedom checks need cycle detection, which the parallel engine
-// does not provide; use dfs or bfs there.
+//
+// Crash faults: -crashes F explores every execution in which up to F
+// processors crash-stop (each enabled processor may crash at each state
+// until the budget is spent). Combined with -check waitfree this verifies
+// wait-freedom in the crash-fault model: every survivor terminates within
+// the -solo-bound solo-step budget no matter which subset of the others
+// stops forever. -crashes N-1 covers every f-resilient adversary.
 //
 // Observability: results go to stdout; -progress diagnostics go to
 // stderr so piped output stays clean. -report FILE writes a JSON report
@@ -22,6 +27,7 @@
 //	anonexplore -check safety   -inputs a,b -report r.json
 //	anonexplore -check safety   -inputs a,b,c -http :6060 -progress 1000000
 //	anonexplore -check waitfree -inputs a,b
+//	anonexplore -check waitfree -inputs a,b,c -crashes 2 -nondet=false
 //	anonexplore -check atomicity -inputs a,b      # proves atomicity at N=2
 //	anonexplore -check consensus -inputs x,y -max-ts 2
 package main
@@ -49,6 +55,8 @@ func main() {
 		canonical  = flag.Bool("canonical", true, "fix processor 0's wiring to the identity (sound symmetry reduction)")
 		level      = flag.Int("level", 0, "snapshot termination level override (0 = N)")
 		maxStates  = flag.Int("max-states", 0, "per-search state bound (0 = default)")
+		crashes    = flag.Int("crashes", 0, "crash-fault budget: explore executions with up to this many crash-stopped processors")
+		soloBound  = flag.Int("solo-bound", 0, "solo-step budget of the waitfree invariant (0 = derived from N and M)")
 		maxTS      = flag.Int("max-ts", 2, "consensus timestamp bound")
 		trials     = flag.Int("trials", 100000, "trials for atomicity-random")
 		seed       = flag.Int64("seed", 1, "seed for atomicity-random")
@@ -74,7 +82,8 @@ func main() {
 		check: *check, inputsCSV: *inputsCSV,
 		engine: engine, workers: *workers, progress: *progress,
 		nondet: *nondet, canonical: *canonical, level: *level,
-		maxStates: *maxStates, maxTS: *maxTS, trials: *trials, seed: *seed,
+		maxStates: *maxStates, crashes: *crashes, soloBound: *soloBound,
+		maxTS: *maxTS, trials: *trials, seed: *seed,
 	}
 	rep := obs.NewReport("anonexplore", os.Args[1:])
 	runErr := run(cli, reg, rep)
@@ -105,6 +114,8 @@ type options struct {
 	canonical bool
 	level     int
 	maxStates int
+	crashes   int
+	soloBound int
 	maxTS     int
 	trials    int
 	seed      int64
@@ -153,17 +164,20 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		"workers":   cli.workers,
 		"nondet":    cli.nondet,
 		"canonical": cli.canonical,
+		"crashes":   cli.crashes,
 	})
 	cfg := explore.SnapshotConfig{
-		Inputs:    inputs,
-		Nondet:    cli.nondet,
-		Canonical: cli.canonical,
-		Level:     cli.level,
-		MaxStates: cli.maxStates,
-		Traces:    true,
-		Engine:    cli.engine,
-		Workers:   cli.workers,
-		Obs:       reg,
+		Inputs:     inputs,
+		Nondet:     cli.nondet,
+		Canonical:  cli.canonical,
+		Level:      cli.level,
+		MaxStates:  cli.maxStates,
+		MaxCrashes: cli.crashes,
+		SoloBound:  cli.soloBound,
+		Traces:     true,
+		Engine:     cli.engine,
+		Workers:    cli.workers,
+		Obs:        reg,
 	}
 	if cli.progress > 0 {
 		cfg.ProgressEvery = cli.progress
@@ -190,7 +204,11 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		if err != nil {
 			return fmt.Errorf("WAIT-FREEDOM VIOLATED: %w", err)
 		}
-		fmt.Println("wait-freedom holds: the reachable step graph is acyclic")
+		if cli.crashes > 0 {
+			fmt.Printf("wait-freedom holds with a crash budget of %d: every survivor solo-terminates from every reachable state\n", cli.crashes)
+		} else {
+			fmt.Println("wait-freedom holds: the reachable step graph is acyclic and every processor solo-terminates")
+		}
 	case "atomicity":
 		r, err := explore.FindNonAtomicityWitness(cfg)
 		if err != nil {
@@ -229,6 +247,7 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 			MaxTimestamp: cli.maxTS,
 			Canonical:    cli.canonical,
 			MaxStates:    cli.maxStates,
+			MaxCrashes:   cli.crashes,
 			Engine:       cli.engine,
 			Workers:      cli.workers,
 			Obs:          reg,

@@ -17,6 +17,7 @@
 //	anonsim -algo writescan -inputs 1,2,3 -wiring rotation -steps 120 -trace
 //	anonsim -algo consensus -inputs x,y -sched solo
 //	anonsim -algo renaming -inputs g1,g1,g2 -sched coverer
+//	anonsim -algo snapshot -inputs a,b,c -crashes 2 -crash-seed 3
 package main
 
 import (
@@ -41,13 +42,15 @@ import (
 
 func main() {
 	var (
-		algo       = flag.String("algo", "snapshot", "algorithm: snapshot | writescan | doublecollect | renaming | consensus")
+		algo       = flag.String("algo", "snapshot", "algorithm: snapshot | writescan | doublecollect | blocking | renaming | consensus")
 		inputsCSV  = flag.String("inputs", "a,b,c", "comma-separated processor inputs (equal inputs form a group)")
 		registers  = flag.Int("registers", 0, "number of registers M (0 = number of processors)")
 		schedName  = flag.String("sched", "random", "scheduler: rr | random | solo | coverer")
 		wiring     = flag.String("wiring", "random", "wirings: identity | rotation | random")
 		seed       = flag.Int64("seed", 1, "seed for random wirings/scheduling")
 		steps      = flag.Int("steps", 0, "step budget (0 = generous default)")
+		crashes    = flag.Int("crashes", 0, "crash-fault budget: the adversary crash-stops up to this many processors mid-run")
+		crashSeed  = flag.Int64("crash-seed", 0, "seed for crash victims and timing (0 = derived from -seed)")
 		showTrace  = flag.Bool("trace", false, "print the execution trace")
 		nondet     = flag.Bool("nondet", false, "expose the algorithms' internal register choices to the scheduler")
 		jsonOut    = flag.Bool("json", false, "print the run outcome as a single JSON object instead of prose")
@@ -78,6 +81,7 @@ func main() {
 	cli := options{
 		algo: *algo, inputsCSV: *inputsCSV, registers: *registers,
 		schedName: *schedName, wiring: *wiring, seed: *seed, steps: *steps,
+		crashes: *crashes, crashSeed: *crashSeed,
 		showTrace: *showTrace, nondet: *nondet, jsonOut: *jsonOut,
 	}
 	rep := obs.NewReport("anonsim", os.Args[1:])
@@ -110,6 +114,8 @@ type options struct {
 	wiring    string
 	seed      int64
 	steps     int
+	crashes   int
+	crashSeed int64
 	showTrace bool
 	nondet    bool
 	jsonOut   bool
@@ -118,12 +124,13 @@ type options struct {
 // procOutcome is one processor's result, shared between -json output and
 // the "run" report section.
 type procOutcome struct {
-	Proc   int    `json:"proc"`
-	Input  string `json:"input"`
-	Done   bool   `json:"done"`
-	Output string `json:"output,omitempty"`
-	View   string `json:"view,omitempty"`
-	Steps  int64  `json:"steps"`
+	Proc    int    `json:"proc"`
+	Input   string `json:"input"`
+	Done    bool   `json:"done"`
+	Crashed bool   `json:"crashed,omitempty"`
+	Output  string `json:"output,omitempty"`
+	View    string `json:"view,omitempty"`
+	Steps   int64  `json:"steps"`
 }
 
 // runOutcome is the machine-readable form of a simulation run.
@@ -135,6 +142,7 @@ type runOutcome struct {
 	Wiring     string                 `json:"wiring"`
 	Seed       int64                  `json:"seed"`
 	Steps      int                    `json:"steps"`
+	Crashes    int                    `json:"crashes,omitempty"`
 	Stop       string                 `json:"stop"`
 	AllDone    bool                   `json:"allDone"`
 	Processors []procOutcome          `json:"processors"`
@@ -175,6 +183,8 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 			machines[i] = core.NewWriteScan(m, in.Intern(label), cli.nondet)
 		case "doublecollect":
 			machines[i] = baseline.NewDoubleCollect(m, in.Intern(label))
+		case "blocking":
+			machines[i] = baseline.NewBlocking(m, in.Intern(label))
 		case "renaming":
 			machines[i] = renaming.New(n, m, in.Intern(label), cli.nondet)
 		case "consensus":
@@ -208,6 +218,13 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 		scheduler = &sched.Coverer{}
 	default:
 		return fmt.Errorf("unknown scheduler %q", cli.schedName)
+	}
+	if cli.crashes > 0 {
+		cseed := cli.crashSeed
+		if cseed == 0 {
+			cseed = cli.seed + 1
+		}
+		scheduler = sched.NewCrasher(scheduler, cli.crashes, cseed)
 	}
 
 	budget := cli.steps
@@ -253,12 +270,12 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 	out := runOutcome{
 		Algorithm: cli.algo, N: n, M: m,
 		Scheduler: cli.schedName, Wiring: cli.wiring, Seed: cli.seed,
-		Steps: res.Steps, Stop: res.Reason.String(), AllDone: true,
+		Steps: res.Steps, Crashes: res.Crashes, Stop: res.Reason.String(), AllDone: true,
 		Registers: inst.RegisterAccess(),
 	}
 	procSteps := inst.ProcSteps()
 	for p, mm := range sys.Procs {
-		pr := procOutcome{Proc: p, Input: inputs[p], Done: mm.Done()}
+		pr := procOutcome{Proc: p, Input: inputs[p], Done: mm.Done(), Crashed: sys.Crashed(p)}
 		if p < len(procSteps) {
 			pr.Steps = procSteps[p]
 		}
@@ -291,13 +308,21 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 
 	fmt.Printf("algorithm=%s n=%d m=%d scheduler=%s wiring=%s seed=%d\n",
 		out.Algorithm, out.N, out.M, out.Scheduler, out.Wiring, out.Seed)
-	fmt.Printf("steps=%d stop=%s\n", out.Steps, out.Stop)
+	if out.Crashes > 0 {
+		fmt.Printf("steps=%d crashes=%d stop=%s\n", out.Steps, out.Crashes, out.Stop)
+	} else {
+		fmt.Printf("steps=%d stop=%s\n", out.Steps, out.Stop)
+	}
 	for _, pr := range out.Processors {
 		status := "running"
 		desc := pr.Output
-		if pr.Done {
+		switch {
+		case pr.Done:
 			status = "done"
-		} else if pr.View != "" {
+		case pr.Crashed:
+			status = "crashed"
+		}
+		if !pr.Done && pr.View != "" {
 			desc = "view " + pr.View
 		}
 		fmt.Printf("p%d input=%-8q %-8s %s\n", pr.Proc+1, pr.Input, status, desc)

@@ -42,6 +42,17 @@
 // frontier, dedup hit rate). See internal/explore's package documentation
 // for the engine-selection table.
 //
+// Every execution layer also implements crash-stop faults: a crashed
+// processor takes no further steps and produces no output, but its last
+// write persists. machine.System.Crash is the model transition,
+// sched.Crasher the simulated adversary (budget, seeded victims),
+// explore.Options.MaxCrashes the exhaustive form (every crash pattern up
+// to a budget, on every engine), and runtime.Config.Crashes the
+// goroutine form (victims killed mid-operation). The matching liveness
+// check is explore.WaitFree(bound): from every reachable state, every
+// surviving processor must terminate within bound of its own steps —
+// wait-freedom in the crash-fault sense.
+//
 // Observability is unified in internal/obs: a dependency-free atomic
 // metrics registry and JSONL event sink that the explorer, the simulated
 // scheduler (sched.Instrument) and the goroutine runtime all publish

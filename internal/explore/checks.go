@@ -81,6 +81,13 @@ type SnapshotConfig struct {
 	// Level overrides the termination level (0 = N), for the ablation.
 	Level     int
 	MaxStates int
+	// MaxCrashes explores crash faults: at every state with fewer than
+	// MaxCrashes crashed processors, each enabled processor may crash (see
+	// Options.MaxCrashes). Set to N−1 to check the full crash-fault model.
+	MaxCrashes int
+	// SoloBound overrides the solo-step budget of the wait-freedom
+	// invariant (0 = DefaultSoloBound for the configuration).
+	SoloBound int
 	// Traces keeps counterexample traces (memory-heavy on large runs).
 	Traces bool
 	// Engine selects the search backend; AutoEngine resolves to
@@ -115,6 +122,7 @@ func (c SnapshotConfig) options() Options {
 		Engine:        c.engine(),
 		Workers:       c.Workers,
 		MaxStates:     c.MaxStates,
+		MaxCrashes:    c.MaxCrashes,
 		Traces:        c.Traces,
 		Progress:      c.Progress,
 		ProgressEvery: c.ProgressEvery,
@@ -165,21 +173,21 @@ func CheckSnapshotSafety(c SnapshotConfig) (SweepResult, error) {
 }
 
 // CheckSnapshotWaitFree exhaustively verifies wait-freedom over every
-// wiring assignment: the reachable step graph must be acyclic and free of
-// deadlocks. Wait-freedom is a cycle question, so the configured engine
-// must either detect cycles inline (DFSEngine) or record the step graph
-// for offline cycle search (BFSEngine); ParallelEngine supports neither
-// and is rejected with an *UnsupportedOptionError.
+// wiring assignment, in two complementary forms. Every engine checks the
+// WaitFree solo-bound invariant on every reachable state (bound: SoloBound
+// or DefaultSoloBound): each enabled processor must finish within the
+// budget when it runs alone, which is the property crash faults attack —
+// explore with MaxCrashes = N−1 to quantify over every crash pattern.
+// Engines with cycle capabilities (DFSEngine inline, BFSEngine via the
+// step graph) additionally verify the reachable step graph is acyclic, the
+// stronger guarantee that no adversarial interleaving runs forever;
+// ParallelEngine runs the invariant form only.
 func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
 	var sweep SweepResult
-	engine := c.engine()
-	caps := engine.Capabilities()
-	if !caps.CycleDetect && !caps.TrackGraph {
-		return sweep, &UnsupportedOptionError{
-			Engine: engine,
-			Option: "cycle detection",
-			Hint:   "wait-freedom checks need DFSEngine (inline) or BFSEngine (step graph)",
-		}
+	caps := c.engine().Capabilities()
+	bound := c.SoloBound
+	if bound <= 0 {
+		bound = DefaultSoloBound(len(c.Inputs), registersFor(c))
 	}
 	n := len(c.Inputs)
 	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
@@ -188,7 +196,8 @@ func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
 			return err
 		}
 		opts := c.options()
-		opts.TrackGraph = !caps.CycleDetect
+		opts.Invariant = WaitFree(bound)
+		opts.TrackGraph = caps.TrackGraph && !caps.CycleDetect
 		res, err := Run(sys, opts)
 		sweep.accumulate(res)
 		if err != nil {
@@ -400,6 +409,10 @@ type ConsensusConfig struct {
 	MaxTimestamp int
 	Canonical    bool
 	MaxStates    int
+	// MaxCrashes explores crash faults (see Options.MaxCrashes); agreement
+	// and validity are safety properties, so they must hold in every crash
+	// pattern too.
+	MaxCrashes int
 	// Engine selects the search backend (AutoEngine = DFSEngine).
 	Engine Engine
 	// Workers is the ParallelEngine worker count (0 = GOMAXPROCS).
@@ -462,13 +475,14 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 			engine = DFSEngine
 		}
 		res, err := Run(sys, Options{
-			Engine:    engine,
-			Workers:   c.Workers,
-			MaxStates: c.MaxStates,
-			Invariant: invariant,
-			Prune:     prune,
-			Obs:       c.Obs,
-			Events:    c.Events,
+			Engine:     engine,
+			Workers:    c.Workers,
+			MaxStates:  c.MaxStates,
+			MaxCrashes: c.MaxCrashes,
+			Invariant:  invariant,
+			Prune:      prune,
+			Obs:        c.Obs,
+			Events:     c.Events,
 		})
 		sweep.accumulate(res)
 		return err

@@ -29,14 +29,15 @@ func runDFS(init *machine.System, opts Options) (Result, error) {
 	var res Result
 
 	type frame struct {
-		sys   *machine.System
-		fp    uint64
-		aux   uint64
-		how   machine.StepInfo // step that produced this state
-		p     int              // next processor to try
-		c     int              // next choice of processor p
-		n     int              // len(Pending) of processor p, -1 = unknown
-		depth int
+		sys    *machine.System
+		fp     uint64
+		aux    uint64
+		how    machine.StepInfo // step that produced this state
+		p      int              // next processor to try
+		c      int              // next choice of processor p
+		n      int              // len(Pending) of processor p, -1 = unknown
+		crashP int              // next processor to try crashing (MaxCrashes only)
+		depth  int
 	}
 
 	stackTrace := func(stack []frame) []machine.StepInfo {
@@ -68,7 +69,7 @@ func runDFS(init *machine.System, opts Options) (Result, error) {
 		if depth > res.MaxDepth {
 			res.MaxDepth = depth
 		}
-		if sys.AllDone() {
+		if sys.Quiescent() {
 			res.Terminals++
 		}
 		if opts.Invariant != nil {
@@ -119,18 +120,39 @@ func runDFS(init *machine.System, opts Options) (Result, error) {
 			}
 			break
 		}
-		if f.p >= f.sys.N() {
-			color[f.fp] = black
-			expanded++
-			stack = stack[:len(stack)-1]
-			continue
+		var succ *machine.System
+		var info machine.StepInfo
+		if f.p < f.sys.N() {
+			succ = f.sys.Clone()
+			var err error
+			info, err = succ.Step(f.p, f.c)
+			if err != nil {
+				return finish(), fmt.Errorf("explore: %w", err)
+			}
+			f.c++
+		} else {
+			// Op successors exhausted: emit the crash successors, then pop.
+			if opts.MaxCrashes > 0 && f.sys.CrashCount() < opts.MaxCrashes {
+				for f.crashP < f.sys.N() && !f.sys.Enabled(f.crashP) {
+					f.crashP++
+				}
+			} else {
+				f.crashP = f.sys.N()
+			}
+			if f.crashP >= f.sys.N() {
+				color[f.fp] = black
+				expanded++
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			succ = f.sys.Clone()
+			var err error
+			info, err = succ.Crash(f.crashP)
+			if err != nil {
+				return finish(), fmt.Errorf("explore: %w", err)
+			}
+			f.crashP++
 		}
-		succ := f.sys.Clone()
-		info, err := succ.Step(f.p, f.c)
-		if err != nil {
-			return finish(), fmt.Errorf("explore: %w", err)
-		}
-		f.c++
 		res.Edges++
 		aux := f.aux
 		if opts.Aux != nil {

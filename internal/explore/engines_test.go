@@ -328,20 +328,15 @@ func TestChecksAcceptEngines(t *testing.T) {
 		}
 	}
 
-	// Wait-freedom needs cycle detection: DFS inline and BFS via the
-	// step graph both work, the parallel engine is rejected.
-	for _, engine := range []Engine{DFSEngine, BFSEngine} {
+	// Wait-freedom runs on every engine: DFS checks cycles inline, BFS
+	// via the step graph, and all three check the solo-bound invariant —
+	// which is all the parallel engine runs.
+	for _, engine := range []Engine{DFSEngine, BFSEngine, ParallelEngine} {
 		c := base
 		c.Engine = engine
 		if _, err := CheckSnapshotWaitFree(c); err != nil {
 			t.Errorf("waitfree with %v: %v", engine, err)
 		}
-	}
-	c := base
-	c.Engine = ParallelEngine
-	var ue *UnsupportedOptionError
-	if _, err := CheckSnapshotWaitFree(c); !errors.As(err, &ue) {
-		t.Errorf("waitfree with parallel: expected UnsupportedOptionError, got %v", err)
 	}
 
 	// The witness search runs on any engine; at N=2 all prove atomicity.

@@ -68,6 +68,14 @@ type Options struct {
 	// MaxStates bounds the number of distinct states; exceeding it sets
 	// Result.Truncated instead of failing. Zero means DefaultMaxStates.
 	MaxStates int
+	// MaxCrashes explores the crash-stop fault model: in every state whose
+	// crash count is below the budget, each enabled processor may crash
+	// (machine.System.Crash) as an additional transition. With budget
+	// f = N−1 the search covers every f-resilient adversary — the setting
+	// in which wait-freedom is actually defined. Crash transitions count
+	// as edges, reach otherwise-unreachable quiescent states, and are
+	// supported by every engine. Zero keeps the search failure-free.
+	MaxCrashes int
 	// Invariant, when set, is checked at every discovered state; a non-nil
 	// error aborts the search and is reported as an *InvariantError.
 	Invariant func(n Node) error
@@ -165,7 +173,7 @@ func fnvString(fp uint64, s string) uint64 {
 }
 
 // fingerprint hashes the register contents, every machine's local state,
-// and the auxiliary value into 64 bits.
+// the crash mask, and the auxiliary value into 64 bits.
 func fingerprint(sys *machine.System, aux uint64) uint64 {
 	fp := uint64(fnvOffset64)
 	for g := 0; g < sys.Mem.M(); g++ {
@@ -173,6 +181,13 @@ func fingerprint(sys *machine.System, aux uint64) uint64 {
 	}
 	for _, m := range sys.Procs {
 		fp = fnvString(fp, m.StateKey())
+	}
+	if mask := sys.CrashMask(); mask != 0 {
+		// Mix the mask so single-bit crash differences flip ~half the
+		// fingerprint; failure-free states keep their historical hash.
+		z := mask + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		fp ^= z ^ (z >> 27)
 	}
 	if aux != 0 {
 		fp ^= (aux + 0x9e3779b97f4a7c15) * 0xff51afd7ed558ccd
@@ -234,12 +249,12 @@ func runBFS(init *machine.System, opts Options) (Result, error) {
 		}
 		if graph != nil {
 			graph.adj = append(graph.adj, nil)
-			graph.terminal = append(graph.terminal, sys.AllDone())
+			graph.terminal = append(graph.terminal, sys.Quiescent())
 		}
 		if int(depth) > res.MaxDepth {
 			res.MaxDepth = int(depth)
 		}
-		if sys.AllDone() {
+		if sys.Quiescent() {
 			res.Terminals++
 		}
 		if opts.Invariant != nil {
@@ -307,6 +322,32 @@ func runBFS(init *machine.System, opts Options) (Result, error) {
 					graph.adj[head] = append(graph.adj[head], id)
 				}
 				cur = &queue[head] // queue may have been reallocated by add
+				sys = cur.sys
+			}
+		}
+		if opts.MaxCrashes > 0 && sys.CrashCount() < opts.MaxCrashes {
+			for p := 0; p < sys.N(); p++ {
+				if !sys.Enabled(p) {
+					continue
+				}
+				succ := sys.Clone()
+				info, err := succ.Crash(p)
+				if err != nil {
+					return finish(), fmt.Errorf("explore: %w", err)
+				}
+				aux := cur.aux
+				if opts.Aux != nil {
+					aux = opts.Aux(aux, info, succ)
+				}
+				id, err := add(succ, aux, cur.depth+1, head, info)
+				if err != nil {
+					return finish(), err
+				}
+				res.Edges++
+				if graph != nil {
+					graph.adj[head] = append(graph.adj[head], id)
+				}
+				cur = &queue[head]
 				sys = cur.sys
 			}
 		}

@@ -290,13 +290,15 @@ func runParallel(init *machine.System, opts Options) (Result, error) {
 		p.workers[0].log = append(p.workers[0].log, parNode{parent: -1})
 		rootID = packID(0, 0)
 	}
-	if rootSys.AllDone() {
+	if rootSys.Quiescent() {
 		p.terminals.Store(1)
 	}
 	if opts.Invariant != nil {
 		if err := opts.Invariant(Node{Sys: rootSys, Aux: opts.InitAux, Depth: 0}); err != nil {
 			res := p.result()
-			return res, &InvariantError{Err: err}
+			// The one-node trace: zero steps, but non-nil when Traces is
+			// set, matching the serial engines' root-violation behaviour.
+			return res, &InvariantError{Err: err, Trace: p.traceTo(rootID)}
 		}
 	}
 	p.pending.Store(1)
@@ -398,22 +400,48 @@ func (p *parRun) expand(w int, e parEntry) {
 				p.fail(fmt.Errorf("explore: %w", err))
 				return
 			}
-			p.edges.Add(1)
-			aux := e.aux
-			if p.opts.Aux != nil {
-				aux = p.opts.Aux(aux, info, succ)
-			}
-			fp := fingerprint(succ, aux)
-			self.lookups++
-			if !p.table.insert(fp) {
-				self.hits++
-				continue
-			}
-			if err := p.discovered(w, succ, aux, e.id, info, e.depth+1); err != nil {
+			if !p.successor(w, e, succ, info) {
 				return
 			}
 		}
 	}
+	if p.opts.MaxCrashes > 0 && sys.CrashCount() < p.opts.MaxCrashes {
+		for proc := 0; proc < sys.N(); proc++ {
+			if !sys.Enabled(proc) {
+				continue
+			}
+			if p.stop.Load() {
+				return
+			}
+			succ := sys.Clone()
+			info, err := succ.Crash(proc)
+			if err != nil {
+				p.fail(fmt.Errorf("explore: %w", err))
+				return
+			}
+			if !p.successor(w, e, succ, info) {
+				return
+			}
+		}
+	}
+}
+
+// successor runs one generated successor through aux folding, dedup and
+// discovery; a false return means the worker should stop expanding.
+func (p *parRun) successor(w int, e parEntry, succ *machine.System, info machine.StepInfo) bool {
+	self := &p.workers[w]
+	p.edges.Add(1)
+	aux := e.aux
+	if p.opts.Aux != nil {
+		aux = p.opts.Aux(aux, info, succ)
+	}
+	fp := fingerprint(succ, aux)
+	self.lookups++
+	if !p.table.insert(fp) {
+		self.hits++
+		return true
+	}
+	return p.discovered(w, succ, aux, e.id, info, e.depth+1) == nil
 }
 
 // discovered registers a newly-inserted state: counters, parent log,
@@ -433,7 +461,7 @@ func (p *parRun) discovered(w int, succ *machine.System, aux uint64, parent int6
 		self.log = append(self.log, parNode{parent: parent, how: info})
 		id = packID(w, len(self.log)-1)
 	}
-	if succ.AllDone() {
+	if succ.Quiescent() {
 		p.terminals.Add(1)
 	}
 	if p.opts.Invariant != nil {

@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrashBasics(t *testing.T) {
+	sys := newEchoSystem(t, [][]int{{0, 1}, {1, 0}})
+	if sys.CrashCount() != 0 || sys.CrashMask() != 0 {
+		t.Fatal("fresh system reports crashes")
+	}
+	if sys.Crashed(0) || sys.Crashed(1) {
+		t.Fatal("fresh system has crashed processors")
+	}
+
+	info, err := sys.Crash(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Proc != 0 || info.Op.Kind != OpCrash {
+		t.Errorf("crash step info = %+v", info)
+	}
+	if !sys.Crashed(0) || sys.Enabled(0) {
+		t.Error("p0 not disabled after crash")
+	}
+	if sys.CrashCount() != 1 || sys.CrashMask() != 1 {
+		t.Errorf("count=%d mask=%#x after one crash", sys.CrashCount(), sys.CrashMask())
+	}
+	if sys.Procs[0].Done() {
+		t.Error("crash marked the machine done")
+	}
+
+	if _, err := sys.Step(0, 0); err == nil {
+		t.Error("crashed processor stepped")
+	}
+	if _, err := sys.Crash(0); err == nil {
+		t.Error("double crash accepted")
+	}
+	if _, err := sys.Crash(5); err == nil {
+		t.Error("out-of-range crash accepted")
+	}
+
+	// The survivor still runs to completion; the system then is quiescent
+	// but not all-done.
+	for !sys.Procs[1].Done() {
+		if _, err := sys.Step(1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.AllDone() {
+		t.Error("AllDone with a crashed processor")
+	}
+	if !sys.Quiescent() {
+		t.Error("not quiescent with survivor done and p0 crashed")
+	}
+	if _, err := sys.Crash(1); err == nil {
+		t.Error("crash of terminated processor accepted")
+	}
+}
+
+func TestCrashKeyAndClone(t *testing.T) {
+	sys := newEchoSystem(t, [][]int{{0, 1}, {1, 0}})
+	base := sys.Key()
+	if strings.Contains(base, "crashed") {
+		t.Error("failure-free key mentions crashes")
+	}
+	crashed := sys.Clone()
+	if _, err := crashed.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Key() == base {
+		t.Error("crash state not distinguished in Key")
+	}
+	if sys.CrashCount() != 0 {
+		t.Error("Crash on the clone leaked into the original")
+	}
+	cp := crashed.Clone()
+	if !cp.Crashed(1) || cp.Crashed(0) {
+		t.Error("Clone dropped the crash set")
+	}
+	if cp.Key() != crashed.Key() {
+		t.Error("clone key differs")
+	}
+}
+
+func TestCrashLastWritePersists(t *testing.T) {
+	// p0 writes its tag, then crashes: the write must survive for readers,
+	// the defining property of crash-stop (versus crash-recovery) faults.
+	sys := newEchoSystem(t, [][]int{{0, 1}, {1, 0}})
+	if _, err := sys.Step(0, 0); err != nil { // p0 writes p0 -> global 0
+		t.Fatal(err)
+	}
+	if _, err := sys.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	for !sys.Procs[1].Done() {
+		if _, err := sys.Step(1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// p1 reads local 1 = global 0, where p0's tag landed.
+	if got := sys.Procs[1].Output(); got == nil || got.Key() != "p0" {
+		t.Errorf("survivor read %v, want the crashed processor's write", got)
+	}
+}

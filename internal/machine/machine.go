@@ -29,6 +29,11 @@ const (
 	// OpOutput emits Op.Word as the machine's final output and terminates
 	// the machine.
 	OpOutput
+	// OpCrash marks a crash-stop fault injected by the adversary. Machines
+	// never offer it in Pending; it appears only in the StepInfo produced
+	// by System.Crash, so traces and observers can render fault events
+	// uniformly with regular steps.
+	OpCrash
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +45,8 @@ func (k OpKind) String() string {
 		return "write"
 	case OpOutput:
 		return "output"
+	case OpCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}
@@ -63,6 +70,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("write(r%d,%s)", o.Reg, o.Word.Key())
 	case OpOutput:
 		return fmt.Sprintf("output(%s)", o.Word.Key())
+	case OpCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("op(%d)", o.Kind)
 	}
@@ -122,9 +131,19 @@ type StepInfo struct {
 }
 
 // System bundles a memory with its machines and executes steps.
+//
+// Beyond regular steps the system supports the crash-stop fault model of
+// the anonymous-computability literature (Raynal–Taubenfeld, Delporte-
+// Gallet et al.): Crash permanently disables a processor mid-execution.
+// A crashed processor takes no further steps and produces no output; its
+// last completed write stays in the memory (crash-stop, not crash-recover).
 type System struct {
 	Mem   *anonmem.Memory
 	Procs []Machine
+	// crashed[p] marks processor p as crash-stopped. Nil until the first
+	// crash, so failure-free executions pay nothing and their Key stays
+	// byte-identical to the pre-fault-model encoding.
+	crashed []bool
 }
 
 // NewSystem validates that the memory is wired for exactly len(procs)
@@ -147,13 +166,78 @@ func NewSystem(mem *anonmem.Memory, procs []Machine) (*System, error) {
 // N returns the number of processors.
 func (s *System) N() int { return len(s.Procs) }
 
-// Enabled reports whether processor p can take a step.
-func (s *System) Enabled(p int) bool { return !s.Procs[p].Done() }
+// Enabled reports whether processor p can take a step: it has neither
+// terminated nor crashed.
+func (s *System) Enabled(p int) bool { return !s.Procs[p].Done() && !s.Crashed(p) }
+
+// Crashed reports whether processor p has crash-stopped.
+func (s *System) Crashed(p int) bool {
+	return s.crashed != nil && s.crashed[p]
+}
+
+// CrashCount returns how many processors have crashed.
+func (s *System) CrashCount() int {
+	n := 0
+	for _, c := range s.crashed {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashMask returns the crashed processors as a bitmask (bit p set iff
+// processor p crashed). Like the explorer's register fingerprint, it
+// supports at most 64 processors — far beyond any exhaustively checkable
+// system.
+func (s *System) CrashMask() uint64 {
+	var mask uint64
+	for p, c := range s.crashed {
+		if c {
+			mask |= 1 << uint(p)
+		}
+	}
+	return mask
+}
+
+// Crash permanently disables processor p (crash-stop): p takes no further
+// steps and never outputs. Crashing a terminated or already-crashed
+// processor is an error — both are meaningless in the model. The returned
+// StepInfo describes the fault event for traces and observers.
+func (s *System) Crash(p int) (StepInfo, error) {
+	if p < 0 || p >= len(s.Procs) {
+		return StepInfo{}, fmt.Errorf("machine: processor %d out of range", p)
+	}
+	if s.Procs[p].Done() {
+		return StepInfo{}, fmt.Errorf("machine: processor %d has terminated; nothing to crash", p)
+	}
+	if s.Crashed(p) {
+		return StepInfo{}, fmt.Errorf("machine: processor %d already crashed", p)
+	}
+	if s.crashed == nil {
+		s.crashed = make([]bool, len(s.Procs))
+	}
+	s.crashed[p] = true
+	return StepInfo{Proc: p, Op: Op{Kind: OpCrash}, Global: -1, ReadFrom: anonmem.NoWriter, PrevWriter: anonmem.NoWriter}, nil
+}
 
 // AllDone reports whether every machine has terminated.
 func (s *System) AllDone() bool {
 	for _, m := range s.Procs {
 		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether no processor can take a step: every machine
+// has terminated or crashed. Without crashes this coincides with AllDone;
+// with crashes it is the terminal condition of an execution — the sinks
+// of the crash-enabled state graph.
+func (s *System) Quiescent() bool {
+	for p, m := range s.Procs {
+		if !m.Done() && !s.Crashed(p) {
 			return false
 		}
 	}
@@ -176,6 +260,9 @@ func (s *System) DoneCount() int {
 func (s *System) Step(p, c int) (StepInfo, error) {
 	if p < 0 || p >= len(s.Procs) {
 		return StepInfo{}, fmt.Errorf("machine: processor %d out of range", p)
+	}
+	if s.Crashed(p) {
+		return StepInfo{}, fmt.Errorf("machine: processor %d has crashed", p)
 	}
 	m := s.Procs[p]
 	ops := m.Pending()
@@ -218,16 +305,25 @@ func (s *System) Clone() *System {
 	for i, m := range s.Procs {
 		procs[i] = m.Clone()
 	}
-	return &System{Mem: s.Mem.Clone(), Procs: procs}
+	var crashed []bool
+	if s.crashed != nil {
+		crashed = append([]bool(nil), s.crashed...)
+	}
+	return &System{Mem: s.Mem.Clone(), Procs: procs, crashed: crashed}
 }
 
-// Key returns a canonical encoding of the global state: register contents
-// plus every machine's local state. Wirings are fixed per execution and
-// therefore excluded.
+// Key returns a canonical encoding of the global state: register contents,
+// every machine's local state, and (only when faults were injected) the
+// set of crashed processors. Wirings are fixed per execution and therefore
+// excluded; failure-free keys are byte-identical to the pre-fault-model
+// encoding.
 func (s *System) Key() string {
 	key := s.Mem.Key()
 	for _, m := range s.Procs {
 		key += "\x00" + m.StateKey()
+	}
+	if mask := s.CrashMask(); mask != 0 {
+		key += fmt.Sprintf("\x00\x01crashed:%x", mask)
 	}
 	return key
 }

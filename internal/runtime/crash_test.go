@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/view"
+)
+
+// crashMachines builds n Figure 3 snapshot machines over n registers with
+// distinct inputs.
+func crashMachines(n int) ([]machine.Machine, *view.Interner) {
+	in := view.NewInterner()
+	machines := make([]machine.Machine, n)
+	for i := range machines {
+		machines[i] = core.NewSnapshot(n, n, in.Intern(fmt.Sprintf("in%d", i)), false)
+	}
+	return machines, in
+}
+
+// TestCrashInjection kills crashed processors mid-operation under the
+// race detector: crashed machines never terminate or output, survivors
+// finish with pairwise-comparable snapshot outputs, and the per-register
+// crash counters account for every injected fault.
+func TestCrashInjection(t *testing.T) {
+	const n, crashes = 4, 2
+	for seed := int64(0); seed < 5; seed++ {
+		machines, _ := crashMachines(n)
+		out, err := Run(Config{
+			Registers: n,
+			Initial:   core.EmptyCell,
+			Seed:      seed,
+			Yield:     true,
+			Counters:  true,
+			Crashes:   crashes,
+			CrashSeed: seed,
+		}, machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed := 0
+		for p := range out.Crashed {
+			if !out.Crashed[p] {
+				continue
+			}
+			crashed++
+			if out.Done[p] {
+				t.Errorf("seed %d: p%d both crashed and done", seed, p)
+			}
+			if out.Outputs[p] != nil {
+				t.Errorf("seed %d: crashed p%d produced output %v", seed, p, out.Outputs[p])
+			}
+		}
+		if crashed != crashes {
+			t.Fatalf("seed %d: %d processors crashed, want %d", seed, crashed, crashes)
+		}
+		var views []view.View
+		for p := range out.Done {
+			if out.Crashed[p] {
+				continue
+			}
+			if !out.Done[p] {
+				t.Fatalf("seed %d: survivor p%d did not terminate", seed, p)
+			}
+			views = append(views, out.Outputs[p].(core.Cell).View)
+		}
+		for i := range views {
+			for j := range views[:i] {
+				if !views[i].ComparableWith(views[j]) {
+					t.Errorf("seed %d: survivor outputs incomparable: %v vs %v", seed, views[i], views[j])
+				}
+			}
+		}
+		counts := out.Memory.Counters()
+		total := int64(0)
+		for _, c := range counts.Crashes {
+			total += c
+		}
+		// Every victim dies during a read or a write at these step counts
+		// (a 4-processor snapshot machine is nowhere near its output by
+		// step 8), so each crash lands on some register.
+		if total != crashes {
+			t.Errorf("seed %d: register crash counters sum to %d, want %d", seed, total, crashes)
+		}
+	}
+}
+
+// TestCrashDeterminism: equal crash seeds pick the same victims; a
+// different seed eventually picks a different set.
+func TestCrashDeterminism(t *testing.T) {
+	run := func(crashSeed int64) []bool {
+		machines, _ := crashMachines(4)
+		out, err := Run(Config{
+			Registers: 4,
+			Initial:   core.EmptyCell,
+			Crashes:   2,
+			CrashSeed: crashSeed,
+		}, machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Crashed
+	}
+	base := run(7)
+	again := run(7)
+	for p := range base {
+		if base[p] != again[p] {
+			t.Fatalf("same crash seed, different victims: %v vs %v", base, again)
+		}
+	}
+	diverged := false
+	for seed := int64(8); seed < 16 && !diverged; seed++ {
+		other := run(seed)
+		for p := range base {
+			if other[p] != base[p] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Error("victim choice ignores the crash seed")
+	}
+}
+
+// TestCrashValidation: the crash budget must fit the machine count.
+func TestCrashValidation(t *testing.T) {
+	machines, _ := crashMachines(2)
+	if _, err := Run(Config{Registers: 2, Initial: core.EmptyCell, Crashes: 3}, machines); err == nil {
+		t.Error("crash budget beyond machine count accepted")
+	}
+	if _, err := Run(Config{Registers: 2, Initial: core.EmptyCell, Crashes: -1}, machines); err == nil {
+		t.Error("negative crash budget accepted")
+	}
+}

@@ -38,6 +38,7 @@ type regCounters struct {
 	reads      []atomic.Int64
 	writes     []atomic.Int64
 	coverings  []atomic.Int64
+	crashes    []atomic.Int64 // crash faults injected while this register was the pending target
 	lastWriter []atomic.Int32 // processor of the last write, or -1
 }
 
@@ -72,6 +73,7 @@ func (sm *SharedMemory) EnableCounters() {
 		reads:      make([]atomic.Int64, m),
 		writes:     make([]atomic.Int64, m),
 		coverings:  make([]atomic.Int64, m),
+		crashes:    make([]atomic.Int64, m),
 		lastWriter: make([]atomic.Int32, m),
 	}
 	for g := range c.lastWriter {
@@ -108,6 +110,15 @@ func (sm *SharedMemory) Write(p, local int, w anonmem.Word) {
 	sm.cells[g].Store(&w)
 }
 
+// noteCrash records a crash fault against the global register that
+// processor p's interrupted operation addressed. No-op when counting is
+// disabled.
+func (sm *SharedMemory) noteCrash(p, local int) {
+	if c := sm.counts; c != nil {
+		c.crashes[sm.perms[p][local]].Add(1)
+	}
+}
+
 // Snapshot returns the current contents (not atomic across registers;
 // inspection only).
 func (sm *SharedMemory) Snapshot() []anonmem.Word {
@@ -124,6 +135,7 @@ type RegisterCounts struct {
 	Reads     []int64 `json:"reads"`
 	Writes    []int64 `json:"writes"`
 	Coverings []int64 `json:"coverings"`
+	Crashes   []int64 `json:"crashes"`
 }
 
 // Counters snapshots the per-register access counts, or nil when
@@ -137,18 +149,20 @@ func (sm *SharedMemory) Counters() *RegisterCounts {
 		Reads:     make([]int64, len(c.reads)),
 		Writes:    make([]int64, len(c.writes)),
 		Coverings: make([]int64, len(c.coverings)),
+		Crashes:   make([]int64, len(c.crashes)),
 	}
 	for g := range c.reads {
 		out.Reads[g] = c.reads[g].Load()
 		out.Writes[g] = c.writes[g].Load()
 		out.Coverings[g] = c.coverings[g].Load()
+		out.Crashes[g] = c.crashes[g].Load()
 	}
 	return out
 }
 
 // PublishMetrics copies the per-register counters into reg as
-// runtime_register_{reads,writes,coverings}_total{register} counters.
-// No-op when counting is disabled or reg is nil.
+// runtime_register_{reads,writes,coverings,crashes}_total{register}
+// counters. No-op when counting is disabled or reg is nil.
 func (sm *SharedMemory) PublishMetrics(reg *obs.Registry) {
 	counts := sm.Counters()
 	if counts == nil || reg == nil {
@@ -159,6 +173,7 @@ func (sm *SharedMemory) PublishMetrics(reg *obs.Registry) {
 		reg.Counter("runtime_register_reads_total", r).Add(counts.Reads[g])
 		reg.Counter("runtime_register_writes_total", r).Add(counts.Writes[g])
 		reg.Counter("runtime_register_coverings_total", r).Add(counts.Coverings[g])
+		reg.Counter("runtime_register_crashes_total", r).Add(counts.Crashes[g])
 	}
 }
 
@@ -183,6 +198,17 @@ type Config struct {
 	// shared memory (see SharedMemory.Counters); the cost is a few atomic
 	// adds per memory operation.
 	Counters bool
+	// Crashes injects that many crash-stop faults: the victims' goroutines
+	// are killed mid-operation after a few steps and never take another
+	// one. A victim crashing on a write may or may not have its value land
+	// in shared memory (decided by the crash RNG) — exactly the two
+	// linearizations of a crash during a write — and its machine is never
+	// advanced, so it reports neither Done nor an Output. Must be ≤ the
+	// number of machines.
+	Crashes int
+	// CrashSeed seeds the victim choice, crash timing, and the
+	// mid-operation coin; runs with equal seeds pick the same victims.
+	CrashSeed int64
 }
 
 // Outcome reports a concurrent run.
@@ -191,6 +217,8 @@ type Outcome struct {
 	Outputs []anonmem.Word
 	// Done[p] reports whether processor p terminated.
 	Done []bool
+	// Crashed[p] reports whether processor p was crash-stopped.
+	Crashed []bool
 	// Steps[p] counts processor p's executed operations.
 	Steps []int
 	// Memory is the register file, for post-run inspection.
@@ -224,9 +252,29 @@ func Run(cfg Config, machines []machine.Machine) (*Outcome, error) {
 	if cfg.Counters {
 		sm.EnableCounters()
 	}
+	if cfg.Crashes < 0 || cfg.Crashes > n {
+		return nil, fmt.Errorf("runtime: %d crashes for %d machines", cfg.Crashes, n)
+	}
+	// Draw the fault plan up front so it is deterministic in CrashSeed
+	// regardless of goroutine scheduling: which processors crash, after how
+	// many of their own steps, and whether the interrupted operation's
+	// memory effect lands before the processor dies.
+	crashAt := make([]int, n)
+	crashEffect := make([]bool, n)
+	for p := range crashAt {
+		crashAt[p] = -1
+	}
+	if cfg.Crashes > 0 {
+		crng := rand.New(rand.NewSource(cfg.CrashSeed ^ 0x5ca1ab1e))
+		for _, p := range crng.Perm(n)[:cfg.Crashes] {
+			crashAt[p] = crng.Intn(8) // die early, while others still run
+			crashEffect[p] = crng.Intn(2) == 0
+		}
+	}
 	out := &Outcome{
 		Outputs: make([]anonmem.Word, n),
 		Done:    make([]bool, n),
+		Crashed: make([]bool, n),
 		Steps:   make([]int, n),
 		Memory:  sm,
 	}
@@ -254,6 +302,24 @@ func Run(cfg Config, machines []machine.Machine) (*Outcome, error) {
 					choice = rng.Intn(len(ops))
 				}
 				op := ops[choice]
+				if steps == crashAt[p] {
+					// Crash-stop: kill the goroutine mid-operation. The
+					// machine is never advanced past this point, so it
+					// reports neither Done nor an Output — a crashed
+					// processor is indistinguishable from one that is never
+					// scheduled again. A write's value may still land
+					// (crashEffect), modeling a crash between the memory
+					// operation and the local state transition.
+					if crashEffect[p] && op.Kind == machine.OpWrite {
+						sm.Write(p, op.Reg, op.Word)
+					}
+					if op.Kind == machine.OpRead || op.Kind == machine.OpWrite {
+						sm.noteCrash(p, op.Reg)
+					}
+					out.Crashed[p] = true
+					out.Steps[p] = steps
+					return
+				}
 				switch op.Kind {
 				case machine.OpRead:
 					m.Advance(choice, sm.Read(p, op.Reg))

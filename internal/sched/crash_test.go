@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"anonshm/internal/anonmem"
+	"anonshm/internal/machine"
+	"anonshm/internal/obs"
+)
+
+func TestCrasherInjectsBudget(t *testing.T) {
+	sys := newCounterSystem(t, []int{4, 4, 4}, 1)
+	cr := NewCrasher(&RoundRobin{}, 2, 1)
+	cr.Prob = 1 // crash as early as possible, spending the whole budget
+	reg := obs.New()
+	inst := NewInstrument(reg, nil)
+	res, err := Run(sys, cr, 1000, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 2 || cr.Crashes() != 2 || sys.CrashCount() != 2 {
+		t.Fatalf("crashes: result=%d adversary=%d system=%d, want 2", res.Crashes, cr.Crashes(), sys.CrashCount())
+	}
+	if res.Reason != StopQuiescent {
+		t.Errorf("reason = %v, want %v", res.Reason, StopQuiescent)
+	}
+	if inst.Crashes() != 2 {
+		t.Errorf("instrument saw %d crashes", inst.Crashes())
+	}
+	survivors := 0
+	for p := 0; p < sys.N(); p++ {
+		switch {
+		case sys.Crashed(p):
+			if sys.Procs[p].Done() {
+				t.Errorf("p%d crashed and done", p)
+			}
+		default:
+			survivors++
+			if !sys.Procs[p].Done() {
+				t.Errorf("survivor p%d not done", p)
+			}
+		}
+	}
+	if survivors != 1 {
+		t.Errorf("%d survivors, want 1", survivors)
+	}
+	// A crash consumes a step slot but is not a processor step.
+	steps := int64(0)
+	for _, s := range inst.ProcSteps() {
+		steps += s
+	}
+	if int(steps)+res.Crashes != res.Steps {
+		t.Errorf("steps: %d proc + %d crashes != %d total", steps, res.Crashes, res.Steps)
+	}
+}
+
+func TestCrasherZeroBudgetIsTransparent(t *testing.T) {
+	sys := newCounterSystem(t, []int{2, 3}, 1)
+	res, err := Run(sys, NewCrasher(&RoundRobin{}, 0, 1), 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 0 || res.Reason != StopAllDone {
+		t.Errorf("budget-0 crasher interfered: %+v", res)
+	}
+}
+
+func TestCrasherDeterminism(t *testing.T) {
+	crashedSet := func(seed int64) []bool {
+		sys := newCounterSystem(t, []int{6, 6, 6, 6}, 1)
+		cr := NewCrasher(&RoundRobin{}, 2, seed)
+		cr.Prob = 0.5
+		if _, err := Run(sys, cr, 1000, nil); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, sys.N())
+		for p := range out {
+			out[p] = sys.Crashed(p)
+		}
+		return out
+	}
+	base := crashedSet(3)
+	if !reflect.DeepEqual(base, crashedSet(3)) {
+		t.Fatal("same seed, different victims")
+	}
+	diverged := false
+	for seed := int64(4); seed < 12 && !diverged; seed++ {
+		diverged = !reflect.DeepEqual(base, crashedSet(seed))
+	}
+	if !diverged {
+		t.Error("victim choice ignores the seed")
+	}
+}
+
+// stepOrder runs sys under s and returns the processor sequence.
+func stepOrder(t *testing.T, sys *machine.System, s Scheduler) []int {
+	t.Helper()
+	var order []int
+	_, err := Run(sys, s, 1000, ObserverFunc(func(_ int, info machine.StepInfo, _ *machine.System) {
+		order = append(order, info.Proc)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+func TestCovererRandomTieBreak(t *testing.T) {
+	// Identical machines score identically, so every pick is a tie: a nil
+	// Rng must keep the historical lowest-index choice, equal seeds must
+	// agree, and some pair of seeds must diverge.
+	build := func() *machine.System { return newCounterSystem(t, []int{5, 5, 5, 5}, 1) }
+
+	deterministic := stepOrder(t, build(), &Coverer{})
+	if !reflect.DeepEqual(deterministic, stepOrder(t, build(), &Coverer{})) {
+		t.Fatal("nil-Rng coverer not deterministic")
+	}
+
+	seeded := func(seed int64) []int {
+		return stepOrder(t, build(), &Coverer{Rng: rand.New(rand.NewSource(seed))})
+	}
+	if !reflect.DeepEqual(seeded(1), seeded(1)) {
+		t.Fatal("same seed, different schedule")
+	}
+	diverged := false
+	for seed := int64(2); seed < 10 && !diverged; seed++ {
+		diverged = !reflect.DeepEqual(seeded(1), seeded(seed))
+	}
+	if !diverged {
+		t.Error("Coverer.Rng never changes the schedule: tie-breaking is dead")
+	}
+}
+
+func TestRandomNextDoesNotAllocate(t *testing.T) {
+	sys := newCounterSystem(t, []int{1000000, 1000000, 1000000, 1000000}, 1)
+	r := NewRandom(1)
+	r.Next(sys, 0) // warm up the scratch buffer
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Next(sys, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("Random.Next allocates %.1f times per step", allocs)
+	}
+}
+
+func BenchmarkRandomNext(b *testing.B) {
+	mem, err := anonmem.New(1, word("init"), anonmem.IdentityWirings(4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := make([]machine.Machine, 4)
+	for i := range procs {
+		procs[i] = &counter{budget: 1 << 30, fanout: 1}
+	}
+	sys, err := machine.NewSystem(mem, procs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRandom(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Next(sys, i)
+	}
+}

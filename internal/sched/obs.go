@@ -20,7 +20,8 @@ import (
 // Metric families (all counters):
 //
 //	sched_proc_steps_total{proc}          steps taken by each processor
-//	sched_ops_total{op}                   steps by kind (read/write/output)
+//	sched_ops_total{op}                   steps by kind (read/write/output/crash)
+//	sched_proc_crashes_total{proc}        crash faults injected per processor
 //	sched_register_reads_total{register}  reads of each global register
 //	sched_register_writes_total{register} writes of each global register
 //	sched_register_coverings_total{register}
@@ -38,12 +39,14 @@ type Instrument struct {
 	sink *obs.Sink
 
 	procSteps    []*obs.Counter
+	procCrashes  []*obs.Counter
 	regReads     []*obs.Counter
 	regWrites    []*obs.Counter
 	regCoverings []*obs.Counter
 	readOps      *obs.Counter
 	writeOps     *obs.Counter
 	outputOps    *obs.Counter
+	crashOps     *obs.Counter
 	readFrom     map[[2]int]*obs.Counter
 }
 
@@ -56,6 +59,7 @@ func NewInstrument(reg *obs.Registry, sink *obs.Sink) *Instrument {
 		readOps:   reg.Counter("sched_ops_total", obs.L("op", "read")),
 		writeOps:  reg.Counter("sched_ops_total", obs.L("op", "write")),
 		outputOps: reg.Counter("sched_ops_total", obs.L("op", "output")),
+		crashOps:  reg.Counter("sched_ops_total", obs.L("op", "crash")),
 		readFrom:  make(map[[2]int]*obs.Counter),
 	}
 }
@@ -72,8 +76,12 @@ func (in *Instrument) grow(s []*obs.Counter, i int, name, idxLabel string) []*ob
 // OnStep implements Observer.
 func (in *Instrument) OnStep(t int, info machine.StepInfo, sys *machine.System) {
 	p := info.Proc
-	in.procSteps = in.grow(in.procSteps, p, "sched_proc_steps_total", "proc")
-	in.procSteps[p].Inc()
+	if info.Op.Kind != machine.OpCrash {
+		// A crash is the adversary's transition, not a step the processor
+		// took; it gets its own per-processor family below.
+		in.procSteps = in.grow(in.procSteps, p, "sched_proc_steps_total", "proc")
+		in.procSteps[p].Inc()
+	}
 
 	covering := false
 	switch info.Op.Kind {
@@ -107,6 +115,10 @@ func (in *Instrument) OnStep(t int, info machine.StepInfo, sys *machine.System) 
 		}
 	case machine.OpOutput:
 		in.outputOps.Inc()
+	case machine.OpCrash:
+		in.crashOps.Inc()
+		in.procCrashes = in.grow(in.procCrashes, p, "sched_proc_crashes_total", "proc")
+		in.procCrashes[p].Inc()
 	}
 
 	if in.sink != nil {
@@ -168,6 +180,9 @@ func (in *Instrument) ProcSteps() []int64 {
 	}
 	return out
 }
+
+// Crashes returns the total number of crash faults observed so far.
+func (in *Instrument) Crashes() int64 { return in.crashOps.Value() }
 
 var _ Observer = (*Instrument)(nil)
 

@@ -23,6 +23,17 @@ type Scheduler interface {
 	Next(sys *machine.System, t int) (proc, choice int)
 }
 
+// FaultInjector is an optional Scheduler extension for adversaries that
+// inject crash-stop faults. Run consults it before every regular step;
+// a returned processor is crashed via machine.System.Crash, the event is
+// reported to the observer as an OpCrash step, and it consumes one slot
+// of the step budget (a crash is a transition of the model).
+type FaultInjector interface {
+	// NextCrash returns an enabled processor to crash before the next
+	// regular step, or a negative value to inject nothing this step.
+	NextCrash(sys *machine.System, t int) int
+}
+
 // Observer is notified after every executed step. Observers must not
 // mutate the system.
 type Observer interface {
@@ -47,6 +58,9 @@ const (
 	StopMaxSteps
 	// StopScheduler means the scheduler returned proc < 0.
 	StopScheduler
+	// StopQuiescent means every non-crashed machine terminated while at
+	// least one processor crashed — the crash-fault analogue of StopAllDone.
+	StopQuiescent
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +72,8 @@ func (r StopReason) String() string {
 		return "max-steps"
 	case StopScheduler:
 		return "scheduler-stopped"
+	case StopQuiescent:
+		return "quiescent"
 	default:
 		return fmt.Sprintf("StopReason(%d)", uint8(r))
 	}
@@ -65,34 +81,63 @@ func (r StopReason) String() string {
 
 // Result summarizes a run.
 type Result struct {
-	Steps  int
-	Reason StopReason
+	// Steps counts consumed step slots, crash injections included.
+	Steps int
+	// Crashes counts the crash faults injected during the run.
+	Crashes int
+	Reason  StopReason
 }
 
 // Run drives sys under s for at most maxSteps steps, reporting each step to
-// obs (which may be nil). It stops early when all machines terminate or the
-// scheduler stops.
+// obs (which may be nil). It stops early when no enabled processor remains
+// (all terminated, or all survivors terminated) or the scheduler stops.
+// Schedulers that implement FaultInjector get to crash processors between
+// regular steps; each crash consumes one step slot.
 func Run(sys *machine.System, s Scheduler, maxSteps int, obs Observer) (Result, error) {
-	for t := 0; t < maxSteps; t++ {
+	injector, _ := s.(FaultInjector)
+	crashes := 0
+	stopped := func(t int) (Result, bool) {
 		if sys.AllDone() {
-			return Result{Steps: t, Reason: StopAllDone}, nil
+			return Result{Steps: t, Crashes: crashes, Reason: StopAllDone}, true
+		}
+		if sys.Quiescent() {
+			return Result{Steps: t, Crashes: crashes, Reason: StopQuiescent}, true
+		}
+		return Result{}, false
+	}
+	for t := 0; t < maxSteps; t++ {
+		if res, ok := stopped(t); ok {
+			return res, nil
+		}
+		if injector != nil {
+			if v := injector.NextCrash(sys, t); v >= 0 {
+				info, err := sys.Crash(v)
+				if err != nil {
+					return Result{Steps: t, Crashes: crashes}, fmt.Errorf("sched: step %d: %w", t, err)
+				}
+				crashes++
+				if obs != nil {
+					obs.OnStep(t, info, sys)
+				}
+				continue
+			}
 		}
 		p, c := s.Next(sys, t)
 		if p < 0 {
-			return Result{Steps: t, Reason: StopScheduler}, nil
+			return Result{Steps: t, Crashes: crashes, Reason: StopScheduler}, nil
 		}
 		info, err := sys.Step(p, c)
 		if err != nil {
-			return Result{Steps: t}, fmt.Errorf("sched: step %d: %w", t, err)
+			return Result{Steps: t, Crashes: crashes}, fmt.Errorf("sched: step %d: %w", t, err)
 		}
 		if obs != nil {
 			obs.OnStep(t, info, sys)
 		}
 	}
-	if sys.AllDone() {
-		return Result{Steps: maxSteps, Reason: StopAllDone}, nil
+	if res, ok := stopped(maxSteps); ok {
+		return res, nil
 	}
-	return Result{Steps: maxSteps, Reason: StopMaxSteps}, nil
+	return Result{Steps: maxSteps, Crashes: crashes, Reason: StopMaxSteps}, nil
 }
 
 // RoundRobin schedules enabled processors cyclically, giving a fair
@@ -119,6 +164,10 @@ func (r *RoundRobin) Next(sys *machine.System, _ int) (int, int) {
 type Random struct {
 	Rng          *rand.Rand
 	ChoiceRandom bool
+	// scratch is the reusable enabled-processor buffer: Next is the hot
+	// path of every random simulation, and rebuilding the slice each step
+	// would allocate once per step.
+	scratch []int
 }
 
 // NewRandom returns a Random scheduler seeded with seed.
@@ -128,12 +177,13 @@ func NewRandom(seed int64) *Random {
 
 // Next implements Scheduler.
 func (r *Random) Next(sys *machine.System, _ int) (int, int) {
-	var enabled []int
+	enabled := r.scratch[:0]
 	for p := 0; p < sys.N(); p++ {
 		if sys.Enabled(p) {
 			enabled = append(enabled, p)
 		}
 	}
+	r.scratch = enabled
 	if len(enabled) == 0 {
 		return -1, 0
 	}
@@ -261,7 +311,7 @@ type Coverer struct {
 // Next implements Scheduler.
 func (cv *Coverer) Next(sys *machine.System, _ int) (int, int) {
 	n := sys.N()
-	bestP, bestScore := -1, -1
+	bestP, bestScore, ties := -1, -1, 0
 	for i := 0; i < n; i++ {
 		p := (cv.next + i) % n
 		if !sys.Enabled(p) {
@@ -286,8 +336,17 @@ func (cv *Coverer) Next(sys *machine.System, _ int) (int, int) {
 		case machine.OpOutput:
 			score = 2 // let finished processors leave: keeps pressure on the rest
 		}
-		if score > bestScore {
-			bestScore, bestP = score, p
+		switch {
+		case score > bestScore:
+			bestScore, bestP, ties = score, p, 1
+		case score == bestScore && cv.Rng != nil:
+			// Reservoir-sample among equal-score processors: replacing the
+			// k-th tie with probability 1/k leaves every tied processor
+			// equally likely, without collecting them.
+			ties++
+			if cv.Rng.Intn(ties) == 0 {
+				bestP = p
+			}
 		}
 	}
 	if bestP < 0 {
@@ -297,11 +356,84 @@ func (cv *Coverer) Next(sys *machine.System, _ int) (int, int) {
 	return bestP, 0
 }
 
+// Crasher is the crash-fault adversary: it wraps a step scheduler and
+// additionally crash-stops up to Budget processors, with victims and
+// timing drawn from Rng. It implements FaultInjector, so Run injects the
+// crashes between regular steps; the wrapped scheduler never sees a
+// crashed processor as enabled.
+type Crasher struct {
+	// Inner picks the regular steps; nil means a RoundRobin.
+	Inner Scheduler
+	// Budget is the crash budget f: at most this many processors crash.
+	Budget int
+	// Rng drives victim and timing choice. Nil disables crash injection.
+	Rng *rand.Rand
+	// Prob is the per-step crash probability while budget remains
+	// (0 = DefaultCrashProb).
+	Prob    float64
+	crashes int
+	rr      RoundRobin
+}
+
+// DefaultCrashProb is the per-step crash probability of a Crasher that
+// does not set one: frequent enough to hit short executions, rare enough
+// that survivors get long crash-free suffixes.
+const DefaultCrashProb = 0.05
+
+// NewCrasher returns a Crasher over inner with crash budget f, seeded
+// with seed.
+func NewCrasher(inner Scheduler, f int, seed int64) *Crasher {
+	return &Crasher{Inner: inner, Budget: f, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Crashes returns how many processors the adversary has crashed so far.
+func (c *Crasher) Crashes() int { return c.crashes }
+
+// Next implements Scheduler by delegating to the inner scheduler.
+func (c *Crasher) Next(sys *machine.System, t int) (int, int) {
+	if c.Inner == nil {
+		return c.rr.Next(sys, t)
+	}
+	return c.Inner.Next(sys, t)
+}
+
+// NextCrash implements FaultInjector: with the per-step probability, and
+// while budget remains, it picks a uniformly random enabled processor.
+func (c *Crasher) NextCrash(sys *machine.System, _ int) int {
+	if c.Rng == nil || c.crashes >= c.Budget {
+		return -1
+	}
+	prob := c.Prob
+	if prob == 0 {
+		prob = DefaultCrashProb
+	}
+	if c.Rng.Float64() >= prob {
+		return -1
+	}
+	// Reservoir-sample the victim among enabled processors.
+	victim, seen := -1, 0
+	for p := 0; p < sys.N(); p++ {
+		if !sys.Enabled(p) {
+			continue
+		}
+		seen++
+		if c.Rng.Intn(seen) == 0 {
+			victim = p
+		}
+	}
+	if victim >= 0 {
+		c.crashes++
+	}
+	return victim
+}
+
 var (
-	_ Scheduler = (*RoundRobin)(nil)
-	_ Scheduler = (*Random)(nil)
-	_ Scheduler = (*Solo)(nil)
-	_ Scheduler = (*Scripted)(nil)
-	_ Scheduler = (*Seq)(nil)
-	_ Scheduler = (*Coverer)(nil)
+	_ Scheduler     = (*RoundRobin)(nil)
+	_ Scheduler     = (*Random)(nil)
+	_ Scheduler     = (*Solo)(nil)
+	_ Scheduler     = (*Scripted)(nil)
+	_ Scheduler     = (*Seq)(nil)
+	_ Scheduler     = (*Coverer)(nil)
+	_ Scheduler     = (*Crasher)(nil)
+	_ FaultInjector = (*Crasher)(nil)
 )

@@ -219,6 +219,8 @@ func DescribeStep(ev Event) string {
 		return fmt.Sprintf("p%d reads r%d", in.Proc+1, in.Global+1)
 	case machine.OpOutput:
 		return fmt.Sprintf("p%d outputs", in.Proc+1)
+	case machine.OpCrash:
+		return fmt.Sprintf("p%d crashes", in.Proc+1)
 	default:
 		return fmt.Sprintf("p%d steps", in.Proc+1)
 	}
