@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-report
+.PHONY: build test vet lint race verify bench bench-report
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Model-invariant static analysis: the anonlint suite (internal/lint)
+# encodes the semantic invariants plain go vet cannot see — anonymity of
+# machine code, register-access discipline, replay determinism, the
+# 64-bit fingerprint width. Must exit with zero unsuppressed findings;
+# suppress only with a justified "//lint:ignore anonlint/<name> reason".
+lint:
+	$(GO) build -o bin/anonlint ./cmd/anonlint
+	$(GO) vet -vettool=$(CURDIR)/bin/anonlint ./...
 
 test:
 	$(GO) test ./...
@@ -20,7 +29,7 @@ race:
 	$(GO) test -race -short ./internal/explore/ ./internal/sched/ ./internal/runtime/
 
 # Extended tier-1 gate: what CI (and ROADMAP.md) require before merge.
-verify: build vet test race
+verify: build vet lint test race
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchtime 1x .

@@ -30,6 +30,12 @@
 //	anonexplore -check waitfree -inputs a,b,c -crashes 2 -nondet=false
 //	anonexplore -check atomicity -inputs a,b      # proves atomicity at N=2
 //	anonexplore -check consensus -inputs x,y -max-ts 2
+//
+// Exit status (shared with anonsim, see internal/exitcode): 0 when every
+// checked invariant held, 1 on operational errors, 2 on usage errors,
+// and 3 when the search produced a counterexample — the one-line
+// "invariant violated: ..." summary goes to stderr, the full trace to
+// stdout.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"anonshm/internal/exitcode"
 	"anonshm/internal/explore"
 	"anonshm/internal/obs"
 )
@@ -99,8 +106,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "anonexplore: wrote report to %s\n", *reportPath)
 	}
 	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "anonexplore:", runErr)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "anonexplore:", exitcode.Summary(runErr))
+		os.Exit(exitcode.Code(runErr))
 	}
 }
 
@@ -190,7 +197,7 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
 		if err != nil {
-			return fmt.Errorf("SAFETY VIOLATED: %w", err)
+			return exitcode.Violated("snapshot safety", err)
 		}
 		fmt.Println("snapshot-task safety holds over every explored interleaving")
 	case "waitfree":
@@ -202,7 +209,7 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
 		if err != nil {
-			return fmt.Errorf("WAIT-FREEDOM VIOLATED: %w", err)
+			return exitcode.Violated("wait-freedom", err)
 		}
 		if cli.crashes > 0 {
 			fmt.Printf("wait-freedom holds with a crash budget of %d: every survivor solo-terminates from every reachable state\n", cli.crashes)
@@ -221,7 +228,8 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 				r.Witness.Proc, r.Witness.Output)
 			fmt.Printf("wirings: %v\n", r.Witness.Wirings)
 			fmt.Printf("trace (%d steps): %s\n", len(r.Witness.Trace), explore.FormatTrace(r.Witness.Trace))
-			return nil
+			return exitcode.Violated("snapshot atomicity",
+				fmt.Errorf("processor %d outputs %v, never the memory union (trace on stdout)", r.Witness.Proc, r.Witness.Output))
 		}
 		if r.Exhaustive {
 			fmt.Println("no witness exists: the algorithm IS an atomic memory snapshot at this size")
@@ -238,7 +246,8 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		if found {
 			fmt.Printf("NON-ATOMICITY WITNESS (seed %d): processor %d outputs %v\n", w.Seed, w.Proc, w.Output)
 			fmt.Printf("wirings: %v\n", w.Wirings)
-			return nil
+			return exitcode.Violated("snapshot atomicity",
+				fmt.Errorf("processor %d outputs %v, never the memory union (seed %d)", w.Proc, w.Output, w.Seed))
 		}
 		fmt.Printf("no witness in %d random executions\n", cli.trials)
 	case "consensus":
@@ -255,7 +264,7 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
 		if err != nil {
-			return fmt.Errorf("CONSENSUS SAFETY VIOLATED: %w", err)
+			return exitcode.Violated("consensus safety", err)
 		}
 		fmt.Printf("agreement and validity hold over every state with timestamps ≤ %d\n", cli.maxTS)
 	default:

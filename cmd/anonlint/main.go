@@ -1,0 +1,77 @@
+// Command anonlint runs the repository's model-invariant static
+// analyzers (internal/lint): anonymity, regaccess, determinism and
+// fpwidth. See each analyzer's package documentation — or
+// "anonlint help" — for the invariant it encodes.
+//
+// It is usable two ways:
+//
+//	anonlint ./...                          # standalone, on package patterns
+//	go vet -vettool=$(which anonlint) ./... # as a vet tool
+//
+// Both modes run the same modular unitchecker analysis. Standalone
+// invocations re-execute themselves through "go vet -vettool", which
+// supplies export data and type information per compilation unit, so the
+// tool needs no package loader of its own and works offline. Analyzer
+// flags pass through in both modes, e.g.:
+//
+//	anonlint -regaccess.allow=internal/anonmem,mypkg ./...
+//
+// Suppress a single finding with a justified directive on (or directly
+// above) the offending line:
+//
+//	start := time.Now() //lint:ignore anonlint/determinism wall time only feeds Stats
+//
+// Exit status: 0 when clean, non-zero when findings are reported (the
+// "go vet" convention), 2 on usage errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"anonshm/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(lint.Suite()...) // never returns
+	}
+
+	// Standalone mode: let "go vet" drive this same binary as its
+	// vettool. vet handles package loading, export data, caching and
+	// diagnostic printing; we only forward flags and the exit status.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anonlint:", err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "anonlint:", err)
+		os.Exit(2)
+	}
+}
+
+// vetProtocol reports whether the arguments follow the vettool protocol
+// ("-V=full" / "-flags" handshakes or a JSON *.cfg compilation unit), in
+// which case unitchecker must handle the invocation directly. "help" is
+// also unitchecker's: it prints the analyzer and flag docs.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return len(args) > 0 && args[0] == "help"
+}

@@ -18,6 +18,18 @@
 //	anonsim -algo consensus -inputs x,y -sched solo
 //	anonsim -algo renaming -inputs g1,g1,g2 -sched coverer
 //	anonsim -algo snapshot -inputs a,b,c -crashes 2 -crash-seed 3
+//
+// After the run, the outputs of terminated processors are validated
+// against the task invariants: snapshot-family outputs (snapshot,
+// doublecollect, blocking) must be self-inclusive, within the
+// participating inputs and pairwise comparable; consensus decisions must
+// agree and be some processor's input.
+//
+// Exit status (shared with anonexplore, see internal/exitcode): 0 when
+// the run completed and every checked invariant held, 1 on operational
+// errors, 2 on usage errors, and 3 when the run produced a
+// counterexample — a one-line "invariant violated: ..." summary on
+// stderr.
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 	"anonshm/internal/baseline"
 	"anonshm/internal/consensus"
 	"anonshm/internal/core"
+	"anonshm/internal/exitcode"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
 	"anonshm/internal/renaming"
@@ -101,8 +114,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "anonsim: wrote report to %s\n", *reportPath)
 	}
 	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "anonsim:", runErr)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "anonsim:", exitcode.Summary(runErr))
+		os.Exit(exitcode.Code(runErr))
 	}
 }
 
@@ -174,19 +187,21 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 	}
 
 	in := view.NewInterner()
+	ids := make([]view.ID, n)
 	machines := make([]machine.Machine, n)
 	for i, label := range inputs {
+		ids[i] = in.Intern(label)
 		switch cli.algo {
 		case "snapshot":
-			machines[i] = core.NewSnapshot(n, m, in.Intern(label), cli.nondet)
+			machines[i] = core.NewSnapshot(n, m, ids[i], cli.nondet)
 		case "writescan":
-			machines[i] = core.NewWriteScan(m, in.Intern(label), cli.nondet)
+			machines[i] = core.NewWriteScan(m, ids[i], cli.nondet)
 		case "doublecollect":
-			machines[i] = baseline.NewDoubleCollect(m, in.Intern(label))
+			machines[i] = baseline.NewDoubleCollect(m, ids[i])
 		case "blocking":
-			machines[i] = baseline.NewBlocking(m, in.Intern(label))
+			machines[i] = baseline.NewBlocking(m, ids[i])
 		case "renaming":
-			machines[i] = renaming.New(n, m, in.Intern(label), cli.nondet)
+			machines[i] = renaming.New(n, m, ids[i], cli.nondet)
 		case "consensus":
 			cm, err := consensus.New(in, n, m, label, cli.nondet)
 			if err != nil {
@@ -299,11 +314,15 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 		out.Processors = append(out.Processors, pr)
 	}
 	rep.Section("run", out)
+	vErr := validateOutputs(cli.algo, inputs, ids, sys)
 
 	if cli.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		return vErr
 	}
 
 	fmt.Printf("algorithm=%s n=%d m=%d scheduler=%s wiring=%s seed=%d\n",
@@ -330,6 +349,84 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 	if rec != nil {
 		fmt.Println()
 		fmt.Print(rec.RenderFigure(trace.DescribeStep))
+	}
+	return vErr
+}
+
+// validateOutputs checks the outputs of terminated processors against
+// the task invariants — the same conditions anonexplore verifies
+// exhaustively (explore.SnapshotInvariant), applied to the single
+// executed run. A violation carries the exitcode.Violation status, so a
+// broken algorithm fails loudly even in simulation. Algorithms without a
+// checked output invariant (writescan never terminates; renaming is
+// validated by its own test suite) pass through.
+func validateOutputs(algo string, inputs []string, ids []view.ID, sys *machine.System) error {
+	switch algo {
+	case "snapshot", "doublecollect", "blocking":
+		all := view.Empty()
+		for _, id := range ids {
+			all = all.With(id)
+		}
+		var outs []view.View
+		var procs []int
+		for p, mm := range sys.Procs {
+			if !mm.Done() {
+				continue
+			}
+			cell, ok := mm.Output().(core.Cell)
+			if !ok {
+				return exitcode.Violated("snapshot safety",
+					fmt.Errorf("p%d output %v is not a view", p+1, mm.Output()))
+			}
+			v := cell.View
+			if !v.Contains(ids[p]) {
+				return exitcode.Violated("snapshot safety",
+					fmt.Errorf("output of p%d misses its own input %q", p+1, inputs[p]))
+			}
+			if !v.SubsetOf(all) {
+				return exitcode.Violated("snapshot safety",
+					fmt.Errorf("output of p%d exceeds the participating inputs", p+1))
+			}
+			for i, q := range procs {
+				if !v.ComparableWith(outs[i]) {
+					return exitcode.Violated("snapshot safety",
+						fmt.Errorf("outputs of p%d and p%d are incomparable", p+1, q+1))
+				}
+			}
+			outs = append(outs, v)
+			procs = append(procs, p)
+		}
+	case "consensus":
+		decided := ""
+		deciders := false
+		for p, mm := range sys.Procs {
+			if !mm.Done() {
+				continue
+			}
+			d, ok := mm.Output().(consensus.Decision)
+			if !ok {
+				return exitcode.Violated("consensus agreement",
+					fmt.Errorf("p%d output %v is not a decision", p+1, mm.Output()))
+			}
+			if deciders && string(d) != decided {
+				return exitcode.Violated("consensus agreement",
+					fmt.Errorf("p%d decided %q, another processor decided %q", p+1, string(d), decided))
+			}
+			decided, deciders = string(d), true
+		}
+		if deciders {
+			valid := false
+			for _, in := range inputs {
+				if in == decided {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				return exitcode.Violated("consensus validity",
+					fmt.Errorf("decided value %q is no processor's input", decided))
+			}
+		}
 	}
 	return nil
 }

@@ -59,4 +59,17 @@
 // through. Instrumentation is nil-safe and free when disabled; the
 // cmd/anonexplore and cmd/anonsim binaries expose it via -report (JSON
 // report files), -json, and -http (live metrics plus pprof).
+//
+// The model's semantic invariants are enforced statically by the anonlint
+// analyzer suite (internal/lint, run via cmd/anonlint or make lint):
+// anonymity checks that machine implementations contain no processor
+// identity (the identical-program discipline of the paper's Section 2),
+// regaccess confines the omniscient register-inspection API and the
+// ghost last-writer state to the observer-side analysis packages,
+// determinism flags run-to-run variation sources (map iteration order,
+// wall clock, global randomness) in the packages feeding state
+// enumeration, and fpwidth guards the 64-bit fingerprint word against
+// silent single-bit-shift overflow. Both binaries share the exit-status
+// convention of internal/exitcode: status 3 with a one-line "invariant
+// violated" summary whenever a run or search produces a counterexample.
 package anonshm

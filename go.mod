@@ -1,3 +1,8 @@
 module anonshm
 
 go 1.23
+
+// Pinned to the exact revision vendored by the Go 1.24.0 toolchain
+// (src/cmd/vendor), so `go build ./...` works fully offline from the
+// vendor/ directory — no module download required.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

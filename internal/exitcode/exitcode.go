@@ -1,0 +1,74 @@
+// Package exitcode defines the process exit conventions shared by the
+// anonshm binaries (anonexplore, anonsim):
+//
+//	0  success — the run completed and every checked invariant held
+//	1  operational error — the run could not complete
+//	2  usage or configuration error
+//	3  invariant violated — the run produced a counterexample
+//
+// The distinct counterexample status lets scripts and CI distinguish
+// "the check ran and found a violation" (actionable: the model is
+// broken, read the trace) from "the check could not run" (actionable:
+// fix the invocation or environment). Both binaries print a one-line
+// "invariant violated: ..." summary on stderr before exiting with 3;
+// multi-line counterexample traces stay on stdout.
+package exitcode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Process exit codes.
+const (
+	OK        = 0
+	Error     = 1
+	Usage     = 2
+	Violation = 3
+)
+
+// ViolationError marks an error as a counterexample to a named model
+// invariant rather than an operational failure.
+type ViolationError struct {
+	Invariant string // e.g. "snapshot safety", "wait-freedom"
+	Err       error  // underlying detail, may be nil
+}
+
+func (v *ViolationError) Error() string {
+	if v.Err == nil {
+		return "invariant violated: " + v.Invariant
+	}
+	return fmt.Sprintf("invariant violated: %s: %v", v.Invariant, v.Err)
+}
+
+func (v *ViolationError) Unwrap() error { return v.Err }
+
+// Violated wraps err as a counterexample to the named invariant.
+func Violated(invariant string, err error) error {
+	return &ViolationError{Invariant: invariant, Err: err}
+}
+
+// Code maps an error to the process exit code: nil is OK, a
+// ViolationError anywhere in the chain is Violation, anything else is
+// Error.
+func Code(err error) int {
+	if err == nil {
+		return OK
+	}
+	var v *ViolationError
+	if errors.As(err, &v) {
+		return Violation
+	}
+	return Error
+}
+
+// Summary renders err as the single stderr line a binary prints before
+// exiting: the first line of the error text.
+func Summary(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+package exitcode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCode(t *testing.T) {
+	if Code(nil) != OK {
+		t.Error("nil error should be OK")
+	}
+	if Code(errors.New("disk full")) != Error {
+		t.Error("plain error should be Error")
+	}
+	v := Violated("snapshot safety", errors.New("outputs incomparable"))
+	if Code(v) != Violation {
+		t.Error("violation should be Violation")
+	}
+	if Code(fmt.Errorf("sweep failed: %w", v)) != Violation {
+		t.Error("wrapped violation should still be Violation")
+	}
+}
+
+func TestSummaryIsOneLine(t *testing.T) {
+	v := Violated("wait-freedom", fmt.Errorf("cycle found\ntrace:\n step 1\n step 2"))
+	s := Summary(v)
+	if strings.ContainsRune(s, '\n') {
+		t.Errorf("summary is not one line: %q", s)
+	}
+	if !strings.HasPrefix(s, "invariant violated: wait-freedom") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestViolationWithoutDetail(t *testing.T) {
+	v := Violated("consensus agreement", nil)
+	if v.Error() != "invariant violated: consensus agreement" {
+		t.Errorf("Error() = %q", v.Error())
+	}
+}

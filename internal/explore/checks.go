@@ -388,6 +388,12 @@ func subsetsOf(ids []view.ID) []view.View {
 		uniq = uniq.With(id)
 	}
 	distinct := uniq.IDs()
+	// Subset candidates are enumerated as bitmasks in an int; beyond 63
+	// distinct inputs 1<<len(distinct) overflows silently (and the 2^n
+	// enumeration is hopeless long before that).
+	if len(distinct) > 63 {
+		panic(fmt.Sprintf("explore: %d distinct inputs exceed the 63 supported by subset-mask enumeration", len(distinct)))
+	}
 	var out []view.View
 	for mask := 1; mask < 1<<uint(len(distinct)); mask++ {
 		v := view.Empty()

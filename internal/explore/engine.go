@@ -136,6 +136,7 @@ func Run(init *machine.System, opts Options) (Result, error) {
 	opts = hookObsProgress(opts)
 	emitEngineStart(opts.Events, engine, opts.Workers)
 
+	//lint:ignore anonlint/determinism wall time feeds only Stats (throughput reporting), never fingerprints, traces or state counts
 	start := time.Now()
 	var (
 		res Result

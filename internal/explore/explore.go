@@ -116,6 +116,12 @@ type Result struct {
 	States    int
 	Edges     int
 	Terminals int // states where every machine has terminated
+	// MaxDepth is the largest first-discovery depth. Serial engines
+	// discover in a fixed order, making it reproducible; ParallelEngine
+	// records the depth at which a racing worker happens to reach a state
+	// first, so its MaxDepth is an upper bound on the BFS eccentricity
+	// that may vary between runs. States, Edges and Terminals are exact
+	// and reproducible on every engine.
 	MaxDepth  int
 	Truncated bool
 	Pruned    int // states whose successors were cut by Options.Prune

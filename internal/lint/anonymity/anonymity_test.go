@@ -1,0 +1,18 @@
+package anonymity_test
+
+import (
+	"testing"
+
+	"anonshm/internal/lint/anonymity"
+	"anonshm/internal/lint/linttest"
+)
+
+// TestGolden seeds a deliberately identity-leaking machine (anonbad) and
+// checks every leak is flagged: the pid field, the memory and System
+// references, the constructor's pid parameter, and the ghost
+// StepInfo.Proc / ReadResult.LastWriter reads inside step logic. The
+// clean machine and the non-machine Config type in anongood produce no
+// findings.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "testdata", anonymity.Analyzer, "anonbad", "anongood")
+}

@@ -1,0 +1,37 @@
+// Package anonbad seeds deliberate anonymity violations into a type
+// implementing the machine step protocol: every identity leak the
+// analyzer knows about appears once.
+package anonbad
+
+import (
+	"anonmem"
+	"machine"
+)
+
+// Leaky has the Pending/Advance/Done shape but smuggles identity in
+// through every door the model closes.
+type Leaky struct {
+	pid   int             // want `machine Leaky stores a processor-identity field "pid"`
+	mem   *anonmem.Memory // want `machine Leaky holds a reference to the shared memory`
+	sys   *machine.System // want `machine Leaky holds a reference to the executing System`
+	input uint64
+	done  bool
+}
+
+func NewLeaky(pid int, input uint64) *Leaky { // want `machine constructor NewLeaky takes a processor-identity parameter "pid"`
+	return &Leaky{pid: pid, input: input}
+}
+
+func (l *Leaky) Pending() []int { return nil }
+
+func (l *Leaky) Advance(info machine.StepInfo) {
+	if info.Proc == l.pid { // want `machine step logic reads ghost identity StepInfo\.Proc`
+		l.done = true
+	}
+}
+
+func (l *Leaky) Observe(r anonmem.ReadResult) int {
+	return r.LastWriter // want `machine step logic reads ghost identity ReadResult\.LastWriter`
+}
+
+func (l *Leaky) Done() bool { return l.done }

@@ -1,0 +1,44 @@
+// Package anongood holds a clean machine implementation next to a
+// non-machine type: neither produces findings.
+package anongood
+
+// Scanner is identity-free: input value and local state only, exactly
+// what the identical-program discipline allows.
+type Scanner struct {
+	input uint64
+	view  []uint64
+	done  bool
+}
+
+// NewScanner's parameters are the machine's input and the register
+// count — neither is a processor identity.
+func NewScanner(input uint64, registers int) *Scanner {
+	return &Scanner{input: input, view: make([]uint64, registers)}
+}
+
+func (s *Scanner) Pending() []int {
+	if s.done {
+		return nil
+	}
+	ops := make([]int, len(s.view))
+	for i := range ops {
+		ops[i] = i
+	}
+	return ops
+}
+
+func (s *Scanner) Advance(vals []uint64) {
+	copy(s.view, vals)
+	s.done = true
+}
+
+func (s *Scanner) Done() bool { return s.done }
+
+// Config is not machine-shaped, so its "id" field and constructor
+// parameter are not anonymity violations.
+type Config struct {
+	id int
+}
+
+// NewConfig takes an id but builds no machine.
+func NewConfig(id int) Config { return Config{id: id} }

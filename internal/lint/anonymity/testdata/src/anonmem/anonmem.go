@@ -1,0 +1,17 @@
+// Package anonmem is a stub of the register file for the anonymity
+// fixtures.
+package anonmem
+
+// Word is the register value type.
+type Word uint64
+
+// Memory is the shared register file.
+type Memory struct {
+	cells []Word
+}
+
+// ReadResult carries the read value plus ghost last-writer identity.
+type ReadResult struct {
+	Value      Word
+	LastWriter int
+}

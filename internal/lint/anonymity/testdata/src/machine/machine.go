@@ -1,0 +1,15 @@
+// Package machine is a stub of the system layer for the anonymity
+// fixtures: the executing System and the observer-side StepInfo record.
+package machine
+
+// System executes machines against the shared memory.
+type System struct {
+	procs int
+}
+
+// StepInfo is ghost state about one executed step, for observers only.
+type StepInfo struct {
+	Proc       int
+	ReadFrom   int
+	PrevWriter int
+}

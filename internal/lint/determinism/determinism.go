@@ -1,0 +1,146 @@
+// Package determinism implements the anonlint/determinism analyzer.
+//
+// The explorer's verification story depends on bit-for-bit replayable
+// runs: counterexample traces must replay, state counts must agree across
+// engines (EXPERIMENTS.md E14), and report files must diff cleanly. Any
+// order or value that varies between runs of the same binary breaks that.
+// Within the determinism-critical packages (-packages, default
+// internal/explore, internal/machine, internal/core) the analyzer flags
+// the three classic sources of silent run-to-run variation:
+//
+//   - iteration over a map (unordered by language definition);
+//   - time.Now on an exploration path;
+//   - the global math/rand source (rand.Intn and friends); a seeded
+//     *rand.Rand obtained from rand.New(rand.NewSource(seed)) is fine.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"anonshm/internal/lint/lintutil"
+)
+
+// DefaultPackages is the default -packages scope: the packages whose
+// behaviour feeds state enumeration, fingerprints and trace output.
+const DefaultPackages = "internal/explore,internal/machine,internal/core"
+
+var packages string
+
+const name = "determinism"
+
+// Analyzer is the anonlint/determinism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag map iteration, time.Now and global math/rand in determinism-critical packages\n\n" +
+		"Exploration must be replayable: identical binaries and seeds must produce identical " +
+		"state counts, traces and fingerprints. Map iteration order, wall-clock reads and the " +
+		"shared math/rand source all vary between runs and silently break that.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", DefaultPackages,
+		"comma-separated package path suffixes to check")
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.MatchPackage(pass.Pkg.Path(), packages) {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass, name)
+	lintutil.WalkFiles(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkStmts(pass, rep, n.List)
+			case *ast.CaseClause:
+				checkStmts(pass, rep, n.Body)
+			case *ast.CommClause:
+				checkStmts(pass, rep, n.Body)
+			case *ast.CallExpr:
+				checkCall(pass, rep, n)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// checkStmts flags map-range loops in a statement list. The one
+// recognized deterministic idiom — collect the keys, then immediately
+// sort them (a sort.* or slices.* call as the next statement) — is not
+// flagged.
+func checkStmts(pass *analysis.Pass, rep *lintutil.Reporter, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rs, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if i+1 < len(stmts) && isSortCall(pass, stmts[i+1]) {
+			continue
+		}
+		rep.Reportf(rs.Pos(),
+			"iteration over map %s has nondeterministic order; sort the keys (or use a slice) before anything that feeds state enumeration, traces or fingerprints",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// isSortCall reports whether s is a statement calling into the sort or
+// slices packages.
+func isSortCall(pass *analysis.Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == "sort" || f.Pkg().Path() == "slices"
+}
+
+func checkCall(pass *analysis.Pass, rep *lintutil.Reporter, call *ast.CallExpr) {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if f.Name() == "Now" {
+			rep.Reportf(call.Pos(),
+				"time.Now on an exploration path; wall-clock values vary between runs — keep timing out of anything fingerprinted or traced")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[f.Name()] {
+			rep.Reportf(call.Pos(),
+				"%s.%s draws from the global random source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so runs replay",
+				f.Pkg().Name(), f.Name())
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"anonshm/internal/lint/determinism"
+	"anonshm/internal/lint/linttest"
+)
+
+// TestGolden checks the analyzer against the in-scope fixture package:
+// map iteration, time.Now and global math/rand are flagged; the
+// sort-after-collect idiom, seeded generators and slice iteration are
+// not; a //lint:ignore directive silences its line.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "testdata", determinism.Analyzer, "internal/explore")
+}
+
+// TestOutOfScope proves the -packages scope: the same constructions in a
+// package off the list produce no findings.
+func TestOutOfScope(t *testing.T) {
+	if fs := linttest.Findings(t, "testdata", determinism.Analyzer, "otherpkg"); len(fs) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %+v", fs)
+	}
+}

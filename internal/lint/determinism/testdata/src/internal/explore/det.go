@@ -1,0 +1,88 @@
+// Package explore is a determinism-analyzer fixture standing in for the
+// real internal/explore (the import path matches the analyzer's default
+// -packages scope).
+package explore
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// MapIteration feeds an unordered map walk into an aggregate — flagged.
+func MapIteration(outs map[int]string) string {
+	acc := ""
+	for _, v := range outs { // want `iteration over map map\[int\]string has nondeterministic order`
+		acc += v
+	}
+	return acc
+}
+
+// NestedMapIteration is flagged wherever the loop sits.
+func NestedMapIteration(outs map[int]string) int {
+	n := 0
+	if len(outs) > 0 {
+		for k := range outs { // want `iteration over map`
+			n += k
+		}
+	}
+	return n
+}
+
+// SortedIteration is the recognized deterministic idiom: collect, then
+// immediately sort. Not flagged.
+func SortedIteration(outs map[string]int) []string {
+	keys := make([]string, 0, len(outs))
+	for k := range outs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SliceIteration is ordered — never flagged.
+func SliceIteration(outs []string) string {
+	acc := ""
+	for _, v := range outs {
+		acc += v
+	}
+	return acc
+}
+
+// WallClock reads the wall clock on an exploration path — flagged.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now on an exploration path`
+}
+
+// Elapsed only manipulates an existing time value — not flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// GlobalRand draws from the shared unseeded source — flagged.
+func GlobalRand(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global random source`
+}
+
+// GlobalShuffle is flagged too.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global random source`
+}
+
+// SeededRand builds and uses an explicitly seeded generator — the
+// constructors and the method calls are both fine.
+func SeededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Suppressed demonstrates the directive: the finding on the next line is
+// silenced with a justification.
+func Suppressed(outs map[int]string) int {
+	n := 0
+	//lint:ignore anonlint/determinism fixture: order-insensitive count
+	for range outs {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+// Package otherpkg is outside the determinism analyzer's -packages
+// scope: nothing here is flagged even though it would be in scope.
+package otherpkg
+
+import "time"
+
+func MapIteration(m map[int]int) int {
+	n := 0
+	for k := range m {
+		n += k
+	}
+	return n
+}
+
+func WallClock() time.Time { return time.Now() }

@@ -1,0 +1,129 @@
+// Package fpwidth implements the anonlint/fpwidth analyzer.
+//
+// The explorer fingerprints register sets, crash masks and "unwritten"
+// bookkeeping as one bit per register (or processor) packed into a single
+// uint64 word — the documented M ≤ 64 constraint from anonshm.New. A
+// dynamic single-bit shift 1 << e silently evaluates to 0 in Go once
+// e ≥ 64, so an unguarded construction does not overflow loudly: it drops
+// bits, aliases distinct states and breaks fingerprint soundness.
+//
+// The analyzer flags every 1 << e with a non-constant e in a package that
+// contains no width guard. A package is considered guarded when any
+// comparison against the constants 63 or 64 appears in it (the repo's
+// idiom: "if m <= 0 || m > 64 { return err }"); a shift is considered
+// self-bounded when its count contains "% c" with c ≤ 64 or "& c" with
+// c ≤ 63. This is a per-package heuristic, deliberately coarse: a package
+// that packs bits dynamically must state its width limit somewhere.
+package fpwidth
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"golang.org/x/tools/go/analysis"
+
+	"anonshm/internal/lint/lintutil"
+)
+
+const name = "fpwidth"
+
+// Analyzer is the anonlint/fpwidth analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag unguarded dynamic single-bit shifts that can exceed the 64-register fingerprint word\n\n" +
+		"Register and processor sets are fingerprinted as one bit per index in a single uint64; " +
+		"1 << e is silently 0 for e >= 64, so every package packing bits dynamically must guard " +
+		"its width (compare against 64, like anonshm.New) or bound the shift count.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := lintutil.NewReporter(pass, name)
+	guarded := false
+	var shifts []*ast.BinaryExpr
+	lintutil.WalkFiles(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.GTR, token.GEQ, token.LSS, token.LEQ:
+				if isWidthConst(pass, be.X) || isWidthConst(pass, be.Y) {
+					guarded = true
+				}
+			case token.SHL:
+				if isOne(pass, be.X) && !isConst(pass, be.Y) && !bounded(pass, be.Y) {
+					shifts = append(shifts, be)
+				}
+			}
+			return true
+		})
+	})
+	if guarded {
+		return nil, nil
+	}
+	for _, be := range shifts {
+		rep.Reportf(be.Pos(),
+			"dynamic single-bit shift in a package with no 64-width guard; 1 << e is silently 0 for e >= 64 and drops fingerprint bits — guard the width (e.g. reject m > 64) or bound the count")
+	}
+	return nil, nil
+}
+
+// constIntValue returns the exact integer value of e if it is a typed or
+// untyped integer constant.
+func constIntValue(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isOne(pass *analysis.Pass, e ast.Expr) bool {
+	v, ok := constIntValue(pass, e)
+	return ok && v == 1
+}
+
+func isWidthConst(pass *analysis.Pass, e ast.Expr) bool {
+	v, ok := constIntValue(pass, e)
+	return ok && (v == 63 || v == 64)
+}
+
+// bounded reports whether the shift-count expression contains a modulo or
+// mask that provably keeps it below 64: "% c" with c <= 64 or "& c" with
+// c <= 63.
+func bounded(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.REM:
+			if v, ok := constIntValue(pass, be.Y); ok && v > 0 && v <= 64 {
+				found = true
+			}
+		case token.AND:
+			if v, ok := constIntValue(pass, be.Y); ok && v >= 0 && v <= 63 {
+				found = true
+			}
+			if v, ok := constIntValue(pass, be.X); ok && v >= 0 && v <= 63 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package fpwidth_test
+
+import (
+	"testing"
+
+	"anonshm/internal/lint/fpwidth"
+	"anonshm/internal/lint/linttest"
+)
+
+// TestGolden checks both sides of the per-package heuristic: fpbad has
+// no width guard, so its dynamic single-bit shifts are flagged (constant
+// and %64/&63-bounded counts are not); fpgood guards m > 64 the way
+// anonshm.New does and is entirely clean.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "testdata", fpwidth.Analyzer, "fpbad", "fpgood")
+}

@@ -1,0 +1,23 @@
+// Package fpbad packs bits dynamically with no width guard anywhere in
+// the package: every unguarded single-bit shift is flagged.
+package fpbad
+
+// CrashMask is the real bug shape: 1 << p is silently 0 once p >= 64,
+// dropping crash bits and aliasing distinct fingerprints.
+func CrashMask(p int) uint64 {
+	return 1 << uint(p) // want `dynamic single-bit shift in a package with no 64-width guard`
+}
+
+// Set flags wherever the shift appears, not just in returns.
+func Set(mask uint64, r int) uint64 {
+	return mask | 1<<r // want `dynamic single-bit shift in a package with no 64-width guard`
+}
+
+// TopBit uses a constant count — never flagged.
+func TopBit() uint64 { return 1 << 63 }
+
+// Wrapped bounds its count with % 64 — self-bounded, not flagged.
+func Wrapped(e uint) uint64 { return 1 << (e % 64) }
+
+// Masked bounds its count with & 63 — self-bounded, not flagged.
+func Masked(e uint) uint64 { return 1 << (e & 63) }

@@ -1,0 +1,24 @@
+// Package fpgood packs bits dynamically but guards its width the way
+// anonshm.New does; with the guard present the dynamic shifts are
+// trusted and nothing is flagged.
+package fpgood
+
+import "errors"
+
+// Set is a bitset over at most 64 registers.
+type Set struct {
+	bits uint64
+	m    int
+}
+
+// New rejects widths that would overflow the fingerprint word — this is
+// the guard the analyzer looks for.
+func New(m int) (*Set, error) {
+	if m <= 0 || m > 64 {
+		return nil, errors.New("fpgood: width exceeds the 64-bit fingerprint word")
+	}
+	return &Set{m: m}, nil
+}
+
+// Add's dynamic shift is fine: the package states its width limit.
+func (s *Set) Add(r int) { s.bits |= 1 << uint(r) }

@@ -1,0 +1,45 @@
+// Package lint assembles the anonlint analyzer suite: the static
+// encoding of this repository's model invariants.
+//
+// The fully-anonymous shared-memory model (PAPER.md §2) is a discipline,
+// not a type: nothing in Go stops an algorithm from branching on a
+// processor index, peeking at ghost register state, or introducing
+// map-iteration nondeterminism that silently breaks replayable traces.
+// The suite turns those modeling errors into compile-time findings:
+//
+//   - anonlint/anonymity — machines run identical code: no processor
+//     identity in machine implementations (PAPER.md §2);
+//   - anonlint/regaccess — shared registers are reached only through the
+//     anonmem Read/Write API; omniscient inspection is for analysis
+//     packages (PAPER.md §2, §4);
+//   - anonlint/determinism — no map iteration, time.Now or global
+//     math/rand on exploration paths (replayable traces, cross-engine
+//     state-count equality, EXPERIMENTS.md E14);
+//   - anonlint/fpwidth — dynamic single-bit shifts are guarded against
+//     the 64-register fingerprint-word limit (anonshm.New's M ≤ 64).
+//
+// Findings are suppressed line-by-line with
+// "//lint:ignore anonlint/<name> reason"; see lintutil.
+//
+// Run the suite with "make lint", "go run ./cmd/anonlint ./...", or
+// "go vet -vettool=$(which anonlint) ./...".
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"anonshm/internal/lint/anonymity"
+	"anonshm/internal/lint/determinism"
+	"anonshm/internal/lint/fpwidth"
+	"anonshm/internal/lint/regaccess"
+)
+
+// Suite returns the anonlint analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		anonymity.Analyzer,
+		regaccess.Analyzer,
+		determinism.Analyzer,
+		fpwidth.Analyzer,
+	}
+}

@@ -1,0 +1,299 @@
+// Package linttest is a self-contained golden-test harness for the
+// anonlint analyzers, a small stand-in for
+// golang.org/x/tools/go/analysis/analysistest (which the offline build
+// does not vendor: it drags in go/packages and an external driver).
+//
+// Layout and expectations follow the analysistest convention: a test
+// package lives in testdata/src/<importpath>, and every expected
+// diagnostic is recorded on its line as a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Run loads the package (resolving imports first against testdata/src,
+// then against the standard library via the source importer), runs the
+// analyzer, and fails the test on any unmatched diagnostic or
+// expectation.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each package path from testdata/src and applies the analyzer,
+// comparing diagnostics against the // want expectations in the sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range pkgpaths {
+		pkg, err := l.Import(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags := runAnalyzer(t, l, a, pkg)
+		checkExpectations(t, l, path, diags)
+	}
+}
+
+// Finding is a diagnostic resolved to file/line, for tests that assert
+// on diagnostics programmatically instead of via // want comments (e.g.
+// the suppression-precision tests, where several analyzers inspect the
+// same line).
+type Finding struct {
+	File    string // base name of the file
+	Line    int
+	Message string
+}
+
+// Findings loads one package path from testdata/src, applies the
+// analyzer, and returns its diagnostics. No // want matching happens.
+func Findings(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []Finding {
+	t.Helper()
+	l := newLoader(testdata)
+	pkg, err := l.Import(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	var out []Finding
+	for _, d := range runAnalyzer(t, l, a, pkg) {
+		pos := l.fset.Position(d.Pos)
+		out = append(out, Finding{File: filepath.Base(pos.Filename), Line: pos.Line, Message: d.Message})
+	}
+	return out
+}
+
+// loader loads testdata packages by import path, memoized, delegating
+// unknown paths to the standard-library source importer.
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	std    types.Importer
+	pkgs   map[string]*loadedPkg
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		srcdir: filepath.Join(testdata, "src"),
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*loadedPkg),
+	}
+}
+
+// Import implements types.Importer over testdata/src with a stdlib
+// fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.pkg, nil
+	}
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return l.std.Import(path)
+	}
+	lp, err := l.load(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = lp
+	return lp.pkg, nil
+}
+
+func (l *loader) load(path, dir string) (*loadedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &loadedPkg{pkg: pkg, files: files, info: info}, nil
+}
+
+// runAnalyzer executes a (and, recursively, its requirements) over the
+// loaded package and returns the diagnostics.
+func runAnalyzer(t *testing.T, l *loader, a *analysis.Analyzer, pkg *types.Package) []analysis.Diagnostic {
+	t.Helper()
+	lp := l.pkgs[pkg.Path()]
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var exec func(a *analysis.Analyzer) any
+	exec = func(a *analysis.Analyzer) any {
+		if r, ok := results[a]; ok {
+			return r
+		}
+		deps := make(map[*analysis.Analyzer]any)
+		for _, req := range a.Requires {
+			deps[req] = exec(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   deps,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		r, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, pkg.Path(), err)
+		}
+		results[a] = r
+		return r
+	}
+	exec(a)
+	return diags
+}
+
+// expectation is one // want entry awaiting a matching diagnostic.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// checkExpectations matches diagnostics against // want comments in the
+// package's files and reports both unmatched sides.
+func checkExpectations(t *testing.T, l *loader, path string, diags []analysis.Diagnostic) {
+	t.Helper()
+	lp := l.pkgs[path]
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := l.fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, raw := range splitQuoted(m[1]) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.rx)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the sequence of Go-quoted strings from a want
+// payload: `"a" "b"` -> [a b]. Backquoted strings are accepted too.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return append(out, s) // unterminated; surface as-is
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				unq = s[1:end]
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return append(out, s)
+		}
+	}
+	return out
+}

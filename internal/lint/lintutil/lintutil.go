@@ -1,0 +1,172 @@
+// Package lintutil provides the shared machinery of the anonlint
+// analyzers: package-scope matching, type-provenance helpers, and the
+// //lint:ignore suppression convention.
+//
+// Suppression convention: a finding is silenced by a comment of the form
+//
+//	//lint:ignore anonlint/<analyzer> <reason>
+//
+// placed either at the end of the offending line or on the line
+// immediately above it. The analyzer name must match exactly and a
+// non-empty reason is mandatory — a directive without a reason (or
+// naming a different analyzer) suppresses nothing. Multiple analyzers
+// may be named, comma-separated: anonlint/determinism,anonlint/fpwidth.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// MatchPackage reports whether pkgPath matches any entry of the
+// comma-separated suffix list. An entry matches when it equals the whole
+// path or a "/"-aligned suffix of it: "internal/explore" matches both
+// "internal/explore" and "anonshm/internal/explore" but not
+// "notinternal/explore-x".
+func MatchPackage(pkgPath, suffixes string) bool {
+	for _, s := range strings.Split(suffixes, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// FromPackage reports whether obj is declared in a package whose import
+// path is base or ends in "/"+base. Matching by path suffix keeps the
+// analyzers testable against stub packages in testdata (import path
+// "anonmem") while still matching the real tree ("anonshm/internal/anonmem").
+func FromPackage(obj types.Object, base string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == base || strings.HasSuffix(path, "/"+base)
+}
+
+// NamedFrom reports whether t (after stripping pointers) is the named
+// type pkgBase.name, with pkgBase matched as a path suffix.
+func NamedFrom(t types.Type, pkgBase, name string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == name && FromPackage(n.Obj(), pkgBase)
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The anonlint
+// analyzers skip test files: the model invariants constrain shipped
+// algorithm and engine code, while tests routinely build deliberate
+// counterexamples (blocking schedules, identity-revealing probes) and
+// assert determinism rather than provide it.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// DirectivePrefix is the comment prefix of a suppression directive.
+const DirectivePrefix = "//lint:ignore"
+
+// Reporter wraps pass.Report with the //lint:ignore convention for one
+// analyzer. Construct it once per run with NewReporter.
+type Reporter struct {
+	pass *analysis.Pass
+	name string // bare analyzer name, e.g. "determinism"
+	// suppressed maps file:line to the set of analyzer names silenced
+	// there. A directive at line L applies to L (trailing comment) and
+	// L+1 (comment on its own line above the finding).
+	suppressed map[lineKey][]string
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// NewReporter scans the pass's files for suppression directives aimed at
+// the named analyzer and returns a Reporter.
+func NewReporter(pass *analysis.Pass, name string) *Reporter {
+	r := &Reporter{pass: pass, name: name, suppressed: make(map[lineKey][]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				for _, l := range []int{p.Line, p.Line + 1} {
+					k := lineKey{file: p.Filename, line: l}
+					r.suppressed[k] = append(r.suppressed[k], names...)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// parseDirective extracts the analyzer names from a
+// "//lint:ignore anonlint/<name>[,anonlint/<name>...] reason" comment.
+// Directives without a reason are malformed and suppress nothing.
+func parseDirective(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, DirectivePrefix)
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, false // missing name or reason
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if bare, ok := strings.CutPrefix(n, "anonlint/"); ok && bare != "" {
+			names = append(names, bare)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// Suppressed reports whether a finding of this analyzer at pos is
+// silenced by a directive.
+func (r *Reporter) Suppressed(pos token.Pos) bool {
+	p := r.pass.Fset.Position(pos)
+	for _, n := range r.suppressed[lineKey{file: p.Filename, line: p.Line}] {
+		if n == r.name {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf reports a finding at pos unless a //lint:ignore directive
+// names this analyzer on that line (or the line above).
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	if r.Suppressed(pos) {
+		return
+	}
+	r.pass.Reportf(pos, format, args...)
+}
+
+// WalkFiles runs fn over every non-test file of the pass.
+func WalkFiles(pass *analysis.Pass, fn func(f *ast.File)) {
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		fn(f)
+	}
+}

@@ -1,0 +1,49 @@
+package lintutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMatchPackage(t *testing.T) {
+	cases := []struct {
+		path, suffixes string
+		want           bool
+	}{
+		{"anonshm/internal/explore", "internal/explore,internal/machine", true},
+		{"internal/explore", "internal/explore", true},
+		{"anonshm/internal/machine", "internal/explore,internal/machine", true},
+		{"notinternal/explore", "internal/explore", false},
+		{"anonshm/internal/explorex", "internal/explore", false},
+		{"anonshm/internal/explore", "", false},
+		{"anonshm/internal/explore", " internal/explore ", true},
+		{"explore", "internal/explore", false},
+	}
+	for _, c := range cases {
+		if got := MatchPackage(c.path, c.suffixes); got != c.want {
+			t.Errorf("MatchPackage(%q, %q) = %v, want %v", c.path, c.suffixes, got, c.want)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//lint:ignore anonlint/determinism wall time is display-only", []string{"determinism"}, true},
+		{"//lint:ignore anonlint/determinism,anonlint/fpwidth both justified", []string{"determinism", "fpwidth"}, true},
+		{"//lint:ignore anonlint/determinism", nil, false},         // reason is mandatory
+		{"//lint:ignore determinism some reason", nil, false},      // anonlint/ prefix is mandatory
+		{"// lint:ignore anonlint/determinism reason", nil, false}, // not a directive
+		{"//lint:ignore anonlint/ reason", nil, false},             // empty name
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseDirective(c.text)
+		if ok != c.ok || (ok && !reflect.DeepEqual(names, c.names)) {
+			t.Errorf("parseDirective(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package lintutil_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anonshm/internal/lint/determinism"
+	"anonshm/internal/lint/fpwidth"
+	"anonshm/internal/lint/linttest"
+)
+
+const fixture = "testdata/src/internal/explore/supp.go"
+
+// markerLines maps each "mark:<name>" trailing comment in the fixture to
+// its line number, so the assertions survive edits to the fixture.
+func markerLines(t *testing.T, path string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	marks := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		if _, rest, ok := strings.Cut(line, "// mark:"); ok {
+			marks[strings.TrimSpace(rest)] = i + 1
+		}
+	}
+	return marks
+}
+
+func findingLines(fs []linttest.Finding) map[int]bool {
+	out := make(map[int]bool)
+	for _, f := range fs {
+		out[f.Line] = true
+	}
+	return out
+}
+
+// TestSuppressionPrecision proves a //lint:ignore directive silences
+// exactly the analyzer it names, on the line it annotates, and nothing
+// else. The fixture has a line where both determinism and fpwidth fire.
+func TestSuppressionPrecision(t *testing.T) {
+	marks := markerLines(t, fixture)
+	for _, m := range []string{"mixed", "wrongname", "noreason", "both"} {
+		if marks[m] == 0 {
+			t.Fatalf("fixture lost marker %q", m)
+		}
+	}
+	det := findingLines(linttest.Findings(t, "testdata", determinism.Analyzer, "internal/explore"))
+	fpw := findingLines(linttest.Findings(t, "testdata", fpwidth.Analyzer, "internal/explore"))
+
+	if det[marks["mixed"]] {
+		t.Errorf("line %d: directive names determinism but it still fired", marks["mixed"])
+	}
+	if !fpw[marks["mixed"]] {
+		t.Errorf("line %d: directive names only determinism, yet fpwidth was silenced too", marks["mixed"])
+	}
+	if !det[marks["wrongname"]] {
+		t.Errorf("line %d: directive naming a different analyzer suppressed determinism", marks["wrongname"])
+	}
+	if !det[marks["noreason"]] {
+		t.Errorf("line %d: directive without a reason suppressed determinism", marks["noreason"])
+	}
+	if det[marks["both"]] || fpw[marks["both"]] {
+		t.Errorf("line %d: comma-separated directive left a named analyzer firing (det=%v fpw=%v)",
+			marks["both"], det[marks["both"]], fpw[marks["both"]])
+	}
+
+	// No findings anywhere but the marked lines.
+	marked := map[int]bool{}
+	for _, l := range marks {
+		marked[l] = true
+	}
+	for _, lines := range []map[int]bool{det, fpw} {
+		for l := range lines {
+			if !marked[l] {
+				t.Errorf("unexpected finding at %s:%s", fixture, strconv.Itoa(l))
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package explore exercises //lint:ignore precision: a directive
+// silences exactly the named analyzer on the annotated line and nothing
+// else. The import path matches the determinism analyzer's default
+// scope, and the package has no width guard, so fpwidth is live too.
+package explore
+
+import "time"
+
+// Mixed triggers determinism (time.Now) and fpwidth (unguarded dynamic
+// shift) on one line; the directive names only determinism.
+func Mixed(p int) uint64 {
+	//lint:ignore anonlint/determinism fixture: wall time is display-only here
+	return uint64(time.Now().Nanosecond()) | 1<<uint(p) // mark:mixed
+}
+
+// WrongName names the other analyzer: determinism still fires.
+func WrongName() time.Time {
+	//lint:ignore anonlint/fpwidth fixture: names the wrong analyzer
+	return time.Now() // mark:wrongname
+}
+
+// NoReason is malformed — a directive without a reason suppresses
+// nothing.
+func NoReason() time.Time {
+	//lint:ignore anonlint/determinism
+	return time.Now() // mark:noreason
+}
+
+// Both silences the two analyzers with one comma-separated directive.
+func Both(p int) uint64 {
+	//lint:ignore anonlint/determinism,anonlint/fpwidth fixture: both halves justified
+	return uint64(time.Now().Nanosecond()) | 1<<uint(p) // mark:both
+}

@@ -1,0 +1,150 @@
+// Package regaccess implements the anonlint/regaccess analyzer.
+//
+// In the fully-anonymous model (PAPER.md §2) a processor can touch the
+// shared memory only through its private wiring permutation — the
+// anonmem Read/Write API. Everything else anonmem exposes is ghost
+// state for the omniscient observer: global register contents (CellAt,
+// Cells), wiring introspection (Global, Wiring) and last-writer
+// tracking (LastWriterAt, LastWrittenBy, ReadResult.LastWriter,
+// WriteResult.PrevWriter). The paper's analyses (reads-from relations,
+// Lemma 4.5/4.6, the §2.1 lower bound) are phrased in terms of that
+// ghost state, so analysis code needs it — but algorithm code using it
+// would silently leave the model.
+//
+// The analyzer therefore restricts the omniscient surface to an explicit
+// allowlist of analysis packages (-allow) and flags, everywhere else:
+//
+//   - calls to the omniscient anonmem.Memory methods;
+//   - reads of the ghost identity fields ReadResult.LastWriter and
+//     WriteResult.PrevWriter;
+//   - direct indexing of register-cell slices ([]anonmem.Word), which
+//     addresses registers by global index and bypasses the wiring.
+package regaccess
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"anonshm/internal/lint/lintutil"
+)
+
+// DefaultAllow lists the packages allowed to use the omniscient
+// inspection API: the memory implementations (anonmem and the runtime's
+// linearizable register file), the system executor, and the
+// analysis/observer layers that implement the paper's ghost-state
+// arguments and trace rendering.
+const DefaultAllow = "internal/anonmem,internal/machine,internal/runtime,internal/explore," +
+	"internal/sched,internal/trace,internal/lemmas,internal/stableview,cmd/figures"
+
+// omniscient is the set of anonmem.Memory methods that reveal global
+// register identity or ghost last-writer state.
+var omniscient = map[string]bool{
+	"CellAt": true, "Cells": true, "LastWriterAt": true,
+	"LastWrittenBy": true, "Global": true, "Wiring": true,
+}
+
+var allow string
+
+const name = "regaccess"
+
+// Analyzer is the anonlint/regaccess analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "restrict shared-register access to the anonmem Read/Write API outside analysis packages\n\n" +
+		"Algorithm code must address registers only through its private wiring permutation; " +
+		"the omniscient inspection methods (CellAt, Cells, LastWriterAt, LastWrittenBy, Global, " +
+		"Wiring) and the ghost last-writer fields exist solely for the observer-side analyses.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&allow, "allow", DefaultAllow,
+		"comma-separated package path suffixes allowed to use the omniscient register-inspection API")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if lintutil.MatchPackage(pass.Pkg.Path(), allow) {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass, name)
+	lintutil.WalkFiles(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, rep, n)
+			case *ast.SelectorExpr:
+				checkGhostField(pass, rep, n)
+			case *ast.IndexExpr:
+				checkIndex(pass, rep, n)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, rep *lintutil.Reporter, call *ast.CallExpr) {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if !omniscient[fn.Name()] || !lintutil.NamedFrom(sig.Recv().Type(), "anonmem", "Memory") {
+		return
+	}
+	rep.Reportf(call.Pos(),
+		"anonmem.Memory.%s is omniscient-observer inspection; algorithm code must reach registers only through Read/Write on its private wiring (add the package to -regaccess.allow if this is analysis code)",
+		fn.Name())
+}
+
+// ghostFields maps (owner struct, field) pairs that expose writer
+// identity — ghost state excluded from the model's register contents.
+var ghostFields = map[[2]string]string{
+	{"ReadResult", "LastWriter"}:  "anonmem",
+	{"WriteResult", "PrevWriter"}: "anonmem",
+}
+
+func checkGhostField(pass *analysis.Pass, rep *lintutil.Reporter, se *ast.SelectorExpr) {
+	sel := pass.TypesInfo.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	recv := sel.Recv()
+	for {
+		p, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	pkgBase, found := ghostFields[[2]string{named.Obj().Name(), se.Sel.Name}]
+	if !found || !lintutil.FromPackage(named.Obj(), pkgBase) {
+		return
+	}
+	rep.Reportf(se.Sel.Pos(),
+		"%s.%s is ghost last-writer state; writer identity is invisible in the fully-anonymous model and may only inform observer-side analyses",
+		named.Obj().Name(), se.Sel.Name)
+}
+
+func checkIndex(pass *analysis.Pass, rep *lintutil.Reporter, ix *ast.IndexExpr) {
+	t := pass.TypesInfo.TypeOf(ix.X)
+	if t == nil {
+		return
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok || !lintutil.NamedFrom(sl.Elem(), "anonmem", "Word") {
+		return
+	}
+	rep.Reportf(ix.Pos(),
+		"direct indexing of a register-cell slice addresses registers by global index, bypassing the wiring permutation; use anonmem Read/Write")
+}

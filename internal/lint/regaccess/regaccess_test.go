@@ -1,0 +1,17 @@
+package regaccess_test
+
+import (
+	"testing"
+
+	"anonshm/internal/lint/linttest"
+	"anonshm/internal/lint/regaccess"
+)
+
+// TestGolden checks the three finding kinds and both negatives: in the
+// non-allowlisted algo package the omniscient Memory methods, the ghost
+// last-writer fields and direct []anonmem.Word indexing are flagged
+// while Read/Write are not; the allowlisted anonmem and internal/trace
+// packages use all of it freely with zero findings.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "testdata", regaccess.Analyzer, "algo", "internal/anonmem", "internal/trace")
+}

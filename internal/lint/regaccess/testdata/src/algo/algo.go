@@ -1,0 +1,41 @@
+// Package algo is a register-access fixture: an algorithm-layer package
+// (not on the -allow list) that must reach shared memory only through
+// the anonmem Read/Write API.
+package algo
+
+import "internal/anonmem"
+
+// Step uses only the model-facing API — no findings.
+func Step(mem *anonmem.Memory, slot int, v anonmem.Word) anonmem.Word {
+	mem.Write(slot, v)
+	r := mem.Read(slot)
+	return r.Value
+}
+
+// Peek reaches for the omniscient surface — flagged.
+func Peek(mem *anonmem.Memory, g int) anonmem.Word {
+	return mem.CellAt(g) // want `anonmem\.Memory\.CellAt is omniscient-observer inspection`
+}
+
+// Dump too.
+func Dump(mem *anonmem.Memory) []anonmem.Word {
+	return mem.Cells() // want `anonmem\.Memory\.Cells is omniscient-observer inspection`
+}
+
+// Who reads the ghost last-writer identity off a read — flagged.
+func Who(mem *anonmem.Memory, slot int) int {
+	r := mem.Read(slot)
+	return r.LastWriter // want `ReadResult\.LastWriter is ghost last-writer state`
+}
+
+// Displaced reads the ghost identity off a write — flagged.
+func Displaced(mem *anonmem.Memory, slot int, v anonmem.Word) int {
+	w := mem.Write(slot, v)
+	return w.PrevWriter // want `WriteResult\.PrevWriter is ghost last-writer state`
+}
+
+// ByIndex addresses registers by global index, bypassing the wiring —
+// flagged.
+func ByIndex(cells []anonmem.Word) anonmem.Word {
+	return cells[0] // want `direct indexing of a register-cell slice`
+}

@@ -1,0 +1,50 @@
+// Package anonmem is a self-contained stub of the repo's register file:
+// the model-facing Read/Write API plus the omniscient observer surface
+// the regaccess analyzer restricts. Its import path suffix matches the
+// default allowlist, so its own direct cell indexing is permitted.
+package anonmem
+
+// Word is the register value type.
+type Word uint64
+
+// ReadResult carries the read value plus ghost last-writer identity.
+type ReadResult struct {
+	Value      Word
+	LastWriter int
+}
+
+// WriteResult carries the ghost identity of the displaced writer.
+type WriteResult struct {
+	PrevWriter int
+}
+
+// Memory is the shared register file.
+type Memory struct {
+	cells   []Word
+	writers []int
+}
+
+// New allocates m registers.
+func New(m int) *Memory {
+	return &Memory{cells: make([]Word, m), writers: make([]int, m)}
+}
+
+// Read is the model-facing read.
+func (m *Memory) Read(i int) ReadResult {
+	return ReadResult{Value: m.cells[i], LastWriter: m.writers[i]}
+}
+
+// Write is the model-facing write.
+func (m *Memory) Write(i int, v Word) WriteResult {
+	prev := m.writers[i]
+	m.cells[i] = v
+	return WriteResult{PrevWriter: prev}
+}
+
+// The omniscient observer surface.
+
+func (m *Memory) CellAt(g int) Word      { return m.cells[g] }
+func (m *Memory) Cells() []Word          { return m.cells }
+func (m *Memory) LastWriterAt(g int) int { return m.writers[g] }
+func (m *Memory) Global(p, i int) int    { return i }
+func (m *Memory) Wiring(p int) []int     { return nil }

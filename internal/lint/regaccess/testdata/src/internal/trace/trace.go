@@ -1,0 +1,18 @@
+// Package trace is an allowlisted analysis package: the omniscient API
+// and ghost fields are exactly what trace rendering needs, so nothing
+// here is flagged.
+package trace
+
+import "internal/anonmem"
+
+// Render walks the global register state the observer-side way.
+func Render(mem *anonmem.Memory) []int {
+	var writers []int
+	for g := range mem.Cells() {
+		writers = append(writers, mem.LastWriterAt(g))
+	}
+	return writers
+}
+
+// LastWriter surfaces the ghost identity for a trace line.
+func LastWriter(r anonmem.ReadResult) int { return r.LastWriter }

@@ -155,6 +155,12 @@ func NewSystem(mem *anonmem.Memory, procs []Machine) (*System, error) {
 	if len(procs) == 0 {
 		return nil, fmt.Errorf("machine: no machines")
 	}
+	// CrashMask and the explorer's fingerprints pack the crashed set as
+	// one bit per processor in a uint64; 1<<p is silently 0 for p >= 64,
+	// which would drop crash bits and alias distinct states.
+	if len(procs) > 64 {
+		return nil, fmt.Errorf("machine: %d processors exceed the 64 supported by crash masks and state fingerprints", len(procs))
+	}
 	for i, m := range procs {
 		if m == nil {
 			return nil, fmt.Errorf("machine: nil machine at index %d", i)

@@ -258,3 +258,21 @@ func TestOpKindAndOpString(t *testing.T) {
 		t.Errorf("output op string = %q", got)
 	}
 }
+
+func TestNewSystemRejectsOver64Processors(t *testing.T) {
+	// CrashMask and the explorer's fingerprints pack the crashed set as
+	// one bit per processor in a uint64; a 65th processor's bit would be
+	// silently dropped, aliasing distinct states.
+	const n = 65
+	mem, err := anonmem.New(2, word("i"), anonmem.IdentityWirings(n, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]Machine, n)
+	for i := range procs {
+		procs[i] = &echoMachine{tag: word("x")}
+	}
+	if _, err := NewSystem(mem, procs); err == nil {
+		t.Error("accepted 65 processors despite the 64-bit crash-mask/fingerprint packing")
+	}
+}
