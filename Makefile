@@ -23,10 +23,13 @@ test:
 # The explorer, scheduler (crash adversary) and runtime are the packages
 # with real concurrency or fault injection; everything else is
 # single-threaded model code, so the race detector runs only where it can
-# find something. -short skips the N=3 crash spaces, which the plain test
+# find something. internal/canon rides along because its hashers are
+# shared read-only across the parallel engine's workers, and the
+# symmetry-equivalence tests in internal/explore drive exactly that
+# sharing. -short skips the N=3 crash spaces, which the plain test
 # target still covers.
 race:
-	$(GO) test -race -short ./internal/explore/ ./internal/sched/ ./internal/runtime/
+	$(GO) test -race -short ./internal/explore/ ./internal/canon/ ./internal/sched/ ./internal/runtime/
 
 # Extended tier-1 gate: what CI (and ROADMAP.md) require before merge.
 verify: build vet lint test race
@@ -35,10 +38,21 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchtime 1x .
 
 # Machine-readable benchmark artifacts: one report file per engine with
-# sweep totals, states/sec and the full metrics snapshot. Render them
-# back with `go run ./cmd/figures -load BENCH_dfs.json`.
+# sweep totals, states/sec and the full metrics snapshot, plus the
+# symmetry-reduction comparison (same check at -symmetry none/proc/full).
+# The N=3 rows run the same-group system with deterministic write order —
+# the one N=3 snapshot space small enough to sweep untruncated (~72M
+# states, ~15 min total), so the reduction ratio is exact rather than an
+# artifact of per-wiring state caps. Render reports back with
+# `go run ./cmd/figures -load BENCH_dfs.json`.
 bench-report:
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine dfs -report BENCH_dfs.json
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine bfs -report BENCH_bfs.json
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine parallel -report BENCH_parallel.json
 	$(GO) run ./cmd/anonexplore -check waitfree -inputs a,b -crashes 1 -engine parallel -report BENCH_crash_parallel.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine dfs -symmetry none -report BENCH_sym_none_n2.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine dfs -symmetry proc -report BENCH_sym_proc_n2.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine dfs -symmetry full -report BENCH_sym_full_n2.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -symmetry none -report BENCH_sym_none_n3.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -wirings orbits -symmetry proc -report BENCH_sym_proc_n3.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -wirings orbits -symmetry full -report BENCH_sym_full_n3.json

@@ -105,7 +105,7 @@ func BenchmarkExploreSnapshotSafety(b *testing.B) {
 	var states int
 	for i := 0; i < b.N; i++ {
 		sweep, err := explore.CheckSnapshotSafety(explore.SnapshotConfig{
-			Inputs: []string{"a", "b"}, Nondet: true, Canonical: true,
+			Inputs: []string{"a", "b"}, Nondet: true, Wirings: explore.FilterProc0,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -120,7 +120,7 @@ func BenchmarkExploreSnapshotSafety(b *testing.B) {
 func BenchmarkExploreWaitFree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := explore.CheckSnapshotWaitFree(explore.SnapshotConfig{
-			Inputs: []string{"a", "b"}, Nondet: true, Canonical: true,
+			Inputs: []string{"a", "b"}, Nondet: true, Wirings: explore.FilterProc0,
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +134,7 @@ func BenchmarkExploreCrash(b *testing.B) {
 	var states int
 	for i := 0; i < b.N; i++ {
 		sweep, err := explore.CheckSnapshotWaitFree(explore.SnapshotConfig{
-			Inputs: []string{"a", "b"}, Nondet: true, Canonical: true, MaxCrashes: 1,
+			Inputs: []string{"a", "b"}, Nondet: true, Wirings: explore.FilterProc0, MaxCrashes: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -149,7 +149,7 @@ func BenchmarkExploreCrash(b *testing.B) {
 func BenchmarkAtomicityWitnessSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := explore.FindNonAtomicityWitness(explore.SnapshotConfig{
-			Inputs: []string{"a", "b"}, Canonical: true,
+			Inputs: []string{"a", "b"}, Wirings: explore.FilterProc0,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -6,6 +6,13 @@
 // explorer engine (dfs by default — smallest memory footprint), and
 // -workers sets the parallel engine's worker count (0 = all cores).
 //
+// Symmetry reduction: -wirings all|proc0|orbits picks how the wiring
+// sweep is cut down (proc0 pins processor 0's wiring to the identity;
+// orbits enumerates one representative per wiring orbit), and
+// -symmetry none|proc|full canonicalizes each explored state under
+// processor (and, with full, register) permutations before
+// fingerprinting, so a whole symmetry orbit is stored once.
+//
 // Crash faults: -crashes F explores every execution in which up to F
 // processors crash-stop (each enabled processor may crash at each state
 // until the budget is spent). Combined with -check waitfree this verifies
@@ -46,6 +53,7 @@ import (
 	"strings"
 	"time"
 
+	"anonshm/internal/canon"
 	"anonshm/internal/exitcode"
 	"anonshm/internal/explore"
 	"anonshm/internal/obs"
@@ -53,13 +61,16 @@ import (
 
 func main() {
 	var (
+		engine   explore.Engine
+		wirings  = explore.FilterProc0
+		symmetry canon.Symmetry
+	)
+	var (
 		check      = flag.String("check", "safety", "check: safety | waitfree | atomicity | atomicity-random | consensus")
 		inputsCSV  = flag.String("inputs", "a,b", "comma-separated processor inputs")
-		engineName = flag.String("engine", "auto", "explorer engine: auto | bfs | dfs | parallel")
 		workers    = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
 		progress   = flag.Int("progress", 0, "print progress to stderr every N discovered states (0 = off)")
 		nondet     = flag.Bool("nondet", true, "explore the algorithms' internal register choices")
-		canonical  = flag.Bool("canonical", true, "fix processor 0's wiring to the identity (sound symmetry reduction)")
 		level      = flag.Int("level", 0, "snapshot termination level override (0 = N)")
 		maxStates  = flag.Int("max-states", 0, "per-search state bound (0 = default)")
 		crashes    = flag.Int("crashes", 0, "crash-fault budget: explore executions with up to this many crash-stopped processors")
@@ -70,12 +81,10 @@ func main() {
 		reportPath = flag.String("report", "", "write a JSON metrics report to this file")
 		httpAddr   = flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run")
 	)
+	flag.Var(&engine, "engine", "explorer engine: auto | bfs | dfs | parallel")
+	flag.Var(&wirings, "wirings", "wiring sweep filter: all | proc0 | orbits")
+	flag.Var(&symmetry, "symmetry", "state canonicalizer: none | proc | full")
 	flag.Parse()
-	engine, err := explore.ParseEngine(*engineName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anonexplore:", err)
-		os.Exit(2)
-	}
 	reg := obs.New()
 	if *httpAddr != "" {
 		addr, err := obs.Serve(*httpAddr, reg)
@@ -88,7 +97,7 @@ func main() {
 	cli := options{
 		check: *check, inputsCSV: *inputsCSV,
 		engine: engine, workers: *workers, progress: *progress,
-		nondet: *nondet, canonical: *canonical, level: *level,
+		nondet: *nondet, wirings: wirings, symmetry: symmetry, level: *level,
 		maxStates: *maxStates, crashes: *crashes, soloBound: *soloBound,
 		maxTS: *maxTS, trials: *trials, seed: *seed,
 	}
@@ -118,7 +127,8 @@ type options struct {
 	workers   int
 	progress  int
 	nondet    bool
-	canonical bool
+	wirings   explore.WiringFilter
+	symmetry  canon.Symmetry
 	level     int
 	maxStates int
 	crashes   int
@@ -138,6 +148,8 @@ type sweepSection struct {
 	MaxStates    int     `json:"maxStates"`
 	Truncated    bool    `json:"truncated"`
 	Engine       string  `json:"engine"`
+	Symmetry     string  `json:"symmetry,omitempty"`
+	GroupSize    int     `json:"groupSize,omitempty"`
 	Workers      int     `json:"workers"`
 	WallSeconds  float64 `json:"wallSeconds"`
 	StatesPerSec float64 `json:"statesPerSec"`
@@ -154,6 +166,8 @@ func sectionOf(sweep explore.SweepResult) sweepSection {
 		MaxStates:    sweep.MaxStates,
 		Truncated:    sweep.Truncated,
 		Engine:       sweep.Stats.Engine.String(),
+		Symmetry:     sweep.Stats.Symmetry,
+		GroupSize:    sweep.Stats.GroupSize,
 		Workers:      sweep.Stats.Workers,
 		WallSeconds:  sweep.Stats.WallTime.Seconds(),
 		StatesPerSec: sweep.StatesPerSec(),
@@ -165,18 +179,20 @@ func sectionOf(sweep explore.SweepResult) sweepSection {
 func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 	inputs := strings.Split(cli.inputsCSV, ",")
 	rep.Section("check", map[string]any{
-		"check":     cli.check,
-		"inputs":    inputs,
-		"engine":    cli.engine.String(),
-		"workers":   cli.workers,
-		"nondet":    cli.nondet,
-		"canonical": cli.canonical,
-		"crashes":   cli.crashes,
+		"check":    cli.check,
+		"inputs":   inputs,
+		"engine":   cli.engine.String(),
+		"workers":  cli.workers,
+		"nondet":   cli.nondet,
+		"wirings":  cli.wirings.String(),
+		"symmetry": cli.symmetry.String(),
+		"crashes":  cli.crashes,
 	})
 	cfg := explore.SnapshotConfig{
 		Inputs:     inputs,
 		Nondet:     cli.nondet,
-		Canonical:  cli.canonical,
+		Wirings:    cli.wirings,
+		Symmetry:   cli.symmetry,
 		Level:      cli.level,
 		MaxStates:  cli.maxStates,
 		MaxCrashes: cli.crashes,
@@ -254,7 +270,8 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		sweep, err := explore.CheckConsensusBounded(explore.ConsensusConfig{
 			Inputs:       inputs,
 			MaxTimestamp: cli.maxTS,
-			Canonical:    cli.canonical,
+			Wirings:      cli.wirings,
+			Symmetry:     cli.symmetry,
 			MaxStates:    cli.maxStates,
 			MaxCrashes:   cli.crashes,
 			Engine:       cli.engine,
@@ -287,7 +304,11 @@ func report(sweep explore.SweepResult, start time.Time) {
 	fmt.Printf("wirings=%d states=%d edges=%d terminals=%d largest=%d truncated=%v elapsed=%v\n",
 		sweep.Wirings, sweep.TotalStates, sweep.TotalEdges, sweep.Terminals,
 		sweep.MaxStates, sweep.Truncated, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("engine=%s workers=%d states/sec=%.0f frontier-peak=%d dedup-hit=%.1f%%\n",
+	fmt.Printf("engine=%s workers=%d states/sec=%.0f frontier-peak=%d dedup-hit=%.1f%%",
 		sweep.Stats.Engine, sweep.Stats.Workers, sweep.StatesPerSec(),
 		sweep.Stats.FrontierPeak, 100*sweep.Stats.DedupHitRate)
+	if sweep.Stats.Symmetry != "" && sweep.Stats.Symmetry != "none" {
+		fmt.Printf(" symmetry=%s group=%d", sweep.Stats.Symmetry, sweep.Stats.GroupSize)
+	}
+	fmt.Println()
 }

@@ -153,7 +153,7 @@ func runDAG() error {
 func runSafety() error {
 	start := time.Now()
 	sweep, err := explore.CheckSnapshotSafety(explore.SnapshotConfig{
-		Inputs: []string{"a", "b"}, Nondet: true, Canonical: true, Traces: true,
+		Inputs: []string{"a", "b"}, Nondet: true, Wirings: explore.FilterProc0, Traces: true,
 	})
 	if err != nil {
 		return fmt.Errorf("SAFETY VIOLATED: %w", err)
@@ -165,7 +165,7 @@ func runSafety() error {
 
 	// Same-group config.
 	sweep, err = explore.CheckSnapshotSafety(explore.SnapshotConfig{
-		Inputs: []string{"g", "g"}, Nondet: true, Canonical: true,
+		Inputs: []string{"g", "g"}, Nondet: true, Wirings: explore.FilterProc0,
 	})
 	if err != nil {
 		return fmt.Errorf("SAFETY VIOLATED (groups): %w", err)
@@ -174,7 +174,7 @@ func runSafety() error {
 
 	// Footnote 4: level N-1 suffices.
 	sweep, err = explore.CheckSnapshotSafety(explore.SnapshotConfig{
-		Inputs: []string{"a", "b"}, Level: 1, Nondet: true, Canonical: true,
+		Inputs: []string{"a", "b"}, Level: 1, Nondet: true, Wirings: explore.FilterProc0,
 	})
 	if err != nil {
 		return fmt.Errorf("footnote 4 violated at N=2: %w", err)
@@ -186,7 +186,7 @@ func runSafety() error {
 func runWaitFree() error {
 	start := time.Now()
 	sweep, err := explore.CheckSnapshotWaitFree(explore.SnapshotConfig{
-		Inputs: []string{"a", "b"}, Nondet: true, Canonical: true, Traces: true,
+		Inputs: []string{"a", "b"}, Nondet: true, Wirings: explore.FilterProc0, Traces: true,
 	})
 	if err != nil {
 		return fmt.Errorf("WAIT-FREEDOM VIOLATED: %w", err)
@@ -210,7 +210,7 @@ func runWaitFree() error {
 func runAtomicity() error {
 	start := time.Now()
 	r, err := explore.FindNonAtomicityWitness(explore.SnapshotConfig{
-		Inputs: []string{"a", "b"}, Canonical: true, Traces: true,
+		Inputs: []string{"a", "b"}, Wirings: explore.FilterProc0, Traces: true,
 	})
 	if err != nil {
 		return err
@@ -606,7 +606,7 @@ func runSafety3() error {
 	start := time.Now()
 	sweep, err := explore.CheckSnapshotSafety(explore.SnapshotConfig{
 		Inputs:    []string{"a", "b", "c"},
-		Canonical: true,
+		Wirings:   explore.FilterProc0,
 		MaxStates: 600_000,
 		Traces:    true,
 	})
@@ -624,7 +624,7 @@ func runConsensus3() error {
 	sweep, err := explore.CheckConsensusBounded(explore.ConsensusConfig{
 		Inputs:       []string{"x", "y", "z"},
 		MaxTimestamp: 1,
-		Canonical:    true,
+		Wirings:      explore.FilterProc0,
 		MaxStates:    400_000,
 	})
 	if err != nil {

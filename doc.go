@@ -42,6 +42,18 @@
 // frontier, dedup hit rate). See internal/explore's package documentation
 // for the engine-selection table.
 //
+// The checker exploits the model's defining symmetry: processors are
+// interchangeable and reach the registers only through private wiring
+// permutations, so internal/canon canonicalizes every explored state
+// under admissible processor permutations, register permutations and
+// input relabelings before fingerprinting (explore.Options.Canonicalizer;
+// -symmetry none|proc|full on the command line), storing one state per
+// symmetry orbit. The wiring sweep composes with it: -wirings orbits
+// enumerates one representative wiring per orbit of the same group
+// action. The reduction is sound for orbit-invariant checks only, which
+// all packaged checks are except the non-atomicity witness search (it
+// pins the identity canonicalizer).
+//
 // Every execution layer also implements crash-stop faults: a crashed
 // processor takes no further steps and produces no output, but its last
 // write persists. machine.System.Crash is the model transition,
@@ -63,7 +75,10 @@
 // The model's semantic invariants are enforced statically by the anonlint
 // analyzer suite (internal/lint, run via cmd/anonlint or make lint):
 // anonymity checks that machine implementations contain no processor
-// identity (the identical-program discipline of the paper's Section 2),
+// identity (the identical-program discipline of the paper's Section 2)
+// and never call into the internal/canon symmetry layer (the one
+// non-analysis package allowed to inspect identity — it is the quotient
+// map, not algorithm code),
 // regaccess confines the omniscient register-inspection API and the
 // ghost last-writer state to the observer-side analysis packages,
 // determinism flags run-to-run variation sources (map iteration order,

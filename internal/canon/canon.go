@@ -1,0 +1,267 @@
+// Package canon canonicalizes explorer states under the symmetries of
+// the fully-anonymous shared-memory model before they are fingerprinted,
+// so the explorer stores one representative per symmetry orbit instead
+// of every orbit member.
+//
+// The model's defining property — processors are interchangeable and
+// reach the registers only through private wiring permutations — is pure
+// symmetry: a group element is a triple (π, ρ, β) of a processor
+// permutation π, a register permutation ρ and an input-value relabeling
+// β, and two global states related by an admissible triple are
+// behaviorally indistinguishable. A triple is admissible when
+//
+//   - π maps every processor to one with the same SymmetryClass (same
+//     program, same parameters);
+//   - ρ is induced by the wirings: σ_{π(p)} = ρ∘σ_p for every p (with
+//     ProcSymmetry, ρ is required to be the identity, i.e. π may only
+//     exchange identically-wired processors);
+//   - β is induced by the inputs: β(input_p) = input_{π(p)} must be a
+//     well-defined bijection, and when β is not the identity every
+//     machine must support Relabelable (value-oblivious algorithms like
+//     Figure 1/Figure 3 do; rank- or label-ordering algorithms like
+//     Figure 4 renaming and Figure 5 consensus do not, and instead fold
+//     their input into SymmetryClass so only equal-input processors are
+//     exchanged).
+//
+// Under these rules the mirrored execution steps in lockstep: when
+// processor p steps from state s, processor π(p) takes the β-relabeled
+// step from the mirrored state, touching global register ρ(g) instead of
+// g. The canonical fingerprint of a state is the minimum, over all
+// admissible triples, of the hash of the mirrored state; orbit members
+// therefore share a fingerprint and are merged by the explorer's
+// deduplication. Soundness does not require the admissible set to be
+// closed under composition: equal fingerprints still imply (modulo the
+// usual 64-bit hash collision odds) that some mirror of one state equals
+// some mirror of the other, i.e. the states share an orbit, and the
+// explorer's coverage argument only needs that.
+//
+// The reduction is sound only for orbit-invariant checks: Options
+// callbacks (Invariant, Prune, Aux) must not distinguish states within
+// one orbit. All of the repository's checks qualify except the
+// non-atomicity witness search, which tracks a fixed candidate view in
+// its auxiliary state and therefore pins canon.Identity.
+//
+// This package inspects processor identity by construction — it is the
+// quotient map, not algorithm code — and is therefore the one non-lint
+// package exempted from the anonymity analyzer's boundary: machine code
+// must never call into it.
+package canon
+
+import (
+	"fmt"
+
+	"anonshm/internal/machine"
+	"anonshm/internal/view"
+)
+
+// Canonicalizer chooses the symmetry group states are quotiented by.
+// Bind inspects a system's fixed structure (machine types, wirings,
+// inputs) once, up front, and returns the Hasher the explorer calls per
+// state. Implementations must be usable as flag defaults: stateless
+// values whose String names the -symmetry spelling.
+type Canonicalizer interface {
+	// Bind computes the admissible symmetry group of init and returns a
+	// Hasher for states reachable from it. The Hasher is read-only and
+	// safe for concurrent use by the parallel engine's workers.
+	Bind(init *machine.System) (Hasher, error)
+	// String names the canonicalizer ("none", "proc", "full").
+	String() string
+}
+
+// Hasher fingerprints states under a bound symmetry group.
+type Hasher interface {
+	// Fingerprint hashes the canonical representative of sys's orbit,
+	// folding aux in afterwards (aux is orbit-independent by contract).
+	Fingerprint(sys *machine.System, aux uint64) uint64
+	// GroupSize is the number of admissible group elements (1 = no
+	// reduction beyond exact-state deduplication).
+	GroupSize() int
+}
+
+// Symmetric is implemented by machines that may be exchanged by a
+// processor permutation. The contract: two machines of one system with
+// equal SymmetryClass are interchangeable programs — exchanging their
+// entire local states (with registers and all other machines untouched)
+// yields a behaviorally equivalent global state. Machines that cannot
+// relabel input values (no Relabelable) must fold their input into the
+// class, so only equal-input processors are ever exchanged. A system
+// containing any machine without Symmetric gets the trivial group.
+type Symmetric interface {
+	// SymmetryClass returns a canonical encoding of the machine's
+	// program and parameters (not its mutable state).
+	SymmetryClass() string
+}
+
+// Relabelable is implemented by machines whose state keys can be
+// rewritten under a bijective relabeling of input-value IDs — the β
+// component of a group element. Only algorithms oblivious to value
+// identity (using views solely through set operations) qualify.
+type Relabelable interface {
+	// InputID returns the machine's input value ID; β is induced from
+	// these (β(input_p) = input_{π(p)}).
+	InputID() view.ID
+	// RelabelStateKey returns the StateKey the machine would have if
+	// every input ID in its state were replaced via relabel.
+	RelabelStateKey(relabel func(view.ID) view.ID) string
+}
+
+// WordRelabeler is implemented by register words whose keys can be
+// rewritten under an input-ID relabeling. Group elements with a
+// non-identity β skip (soundly) any state holding a word without it.
+type WordRelabeler interface {
+	// RelabelKey returns the Key the word would have if every input ID
+	// in it were replaced via relabel.
+	RelabelKey(relabel func(view.ID) view.ID) string
+}
+
+// Identity is the trivial canonicalizer: no symmetry reduction, states
+// are fingerprinted exactly as stored. Its fingerprints are
+// bit-compatible with the explorer's historical hashing.
+type Identity struct{}
+
+// Bind implements Canonicalizer.
+func (Identity) Bind(init *machine.System) (Hasher, error) { return identityHasher{}, nil }
+
+// String implements Canonicalizer.
+func (Identity) String() string { return "none" }
+
+// ProcSymmetry quotients by processor permutations alone: π may exchange
+// processors with equal SymmetryClass and identical wirings (ρ = id).
+type ProcSymmetry struct{}
+
+// Bind implements Canonicalizer.
+func (ProcSymmetry) Bind(init *machine.System) (Hasher, error) { return bindGroup(init, false) }
+
+// String implements Canonicalizer.
+func (ProcSymmetry) String() string { return "proc" }
+
+// FullSymmetry quotients by joint processor and register permutations:
+// π may exchange processors whose wirings agree up to a global register
+// relabeling ρ = σ_{π(0)}∘σ_0⁻¹.
+type FullSymmetry struct{}
+
+// Bind implements Canonicalizer.
+func (FullSymmetry) Bind(init *machine.System) (Hasher, error) { return bindGroup(init, true) }
+
+// String implements Canonicalizer.
+func (FullSymmetry) String() string { return "full" }
+
+var (
+	_ Canonicalizer = Identity{}
+	_ Canonicalizer = ProcSymmetry{}
+	_ Canonicalizer = FullSymmetry{}
+)
+
+// Symmetry is the command-line selector for the three canonicalizers.
+// The zero value is None. *Symmetry implements flag.Value.
+type Symmetry uint8
+
+const (
+	// None selects Identity.
+	None Symmetry = iota
+	// Proc selects ProcSymmetry.
+	Proc
+	// Full selects FullSymmetry.
+	Full
+)
+
+// String implements flag.Value.
+func (s Symmetry) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Proc:
+		return "proc"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Symmetry(%d)", uint8(s))
+	}
+}
+
+// Set implements flag.Value.
+func (s *Symmetry) Set(v string) error {
+	switch v {
+	case "", "none":
+		*s = None
+	case "proc":
+		*s = Proc
+	case "full":
+		*s = Full
+	default:
+		return fmt.Errorf("canon: unknown symmetry %q (want none, proc or full)", v)
+	}
+	return nil
+}
+
+// Canonicalizer returns the canonicalizer the selector names.
+func (s Symmetry) Canonicalizer() Canonicalizer {
+	switch s {
+	case Proc:
+		return ProcSymmetry{}
+	case Full:
+		return FullSymmetry{}
+	default:
+		return Identity{}
+	}
+}
+
+// FNV-1a constants, inlined to avoid per-state hasher allocations. The
+// identity element's hash is bit-compatible with the explorer's
+// historical fingerprint function, so -symmetry=none reproduces old
+// state counts exactly.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(fp uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		fp ^= uint64(s[i])
+		fp *= fnvPrime64
+	}
+	fp ^= 0xff // separator
+	fp *= fnvPrime64
+	return fp
+}
+
+// mixCrash folds a (possibly permuted) crash mask into fp. Failure-free
+// states (mask 0) keep their historical hash.
+func mixCrash(fp, mask uint64) uint64 {
+	if mask == 0 {
+		return fp
+	}
+	// Mix the mask so single-bit crash differences flip ~half the
+	// fingerprint.
+	z := mask + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return fp ^ z ^ (z >> 27)
+}
+
+// mixAux folds the auxiliary value into a finished fingerprint.
+func mixAux(fp, aux uint64) uint64 {
+	if aux == 0 {
+		return fp
+	}
+	return fp ^ (aux+0x9e3779b97f4a7c15)*0xff51afd7ed558ccd
+}
+
+// identityHasher hashes states exactly: registers in global order, then
+// every machine's state key, then the crash mask and aux.
+type identityHasher struct{}
+
+// Fingerprint implements Hasher.
+func (identityHasher) Fingerprint(sys *machine.System, aux uint64) uint64 {
+	fp := uint64(fnvOffset64)
+	for g := 0; g < sys.Mem.M(); g++ {
+		fp = fnvString(fp, sys.Mem.CellAt(g).Key())
+	}
+	for _, m := range sys.Procs {
+		fp = fnvString(fp, m.StateKey())
+	}
+	fp = mixCrash(fp, sys.CrashMask())
+	return mixAux(fp, aux)
+}
+
+// GroupSize implements Hasher.
+func (identityHasher) GroupSize() int { return 1 }

@@ -1,0 +1,277 @@
+package canon
+
+import (
+	"fmt"
+
+	"anonshm/internal/machine"
+	"anonshm/internal/view"
+)
+
+// element is one admissible symmetry triple (π, ρ, β), stored as the
+// inverse maps the hasher needs: slot q of the mirrored state holds the
+// local state of processor procInv[q] = π⁻¹(q), and global register g of
+// the mirrored state holds the word of register regInv[g] = ρ⁻¹(g).
+type element struct {
+	procInv []int
+	// regInv is nil when ρ is the identity.
+	regInv []int
+	// beta maps input IDs to their relabeling, identity-extended past
+	// its length; nil when β is the identity.
+	beta []view.ID
+}
+
+// groupHasher fingerprints states as the minimum hash over the
+// admissible group elements. Elements are fixed at Bind time; hashing is
+// read-only, so one hasher serves all parallel workers.
+type groupHasher struct {
+	elems []element
+	m     int // register count
+}
+
+var _ Hasher = (*groupHasher)(nil)
+
+// bindGroup enumerates the processor permutations of init and keeps the
+// admissible ones (see the package comment for the admission rules).
+// full selects whether ρ may be a non-identity register permutation.
+func bindGroup(init *machine.System, full bool) (*groupHasher, error) {
+	n := init.N()
+	m := init.Mem.M()
+	// Crash masks are mirrored one bit per processor in a uint64
+	// (machine.NewSystem enforces the same ceiling).
+	if n > 64 {
+		return nil, fmt.Errorf("canon: %d processors exceed the 64 supported by crash-mask fingerprints", n)
+	}
+
+	classes := make([]string, n)
+	symmetric := true
+	for p, mach := range init.Procs {
+		if s, ok := mach.(Symmetric); ok {
+			classes[p] = s.SymmetryClass()
+		} else {
+			symmetric = false
+		}
+	}
+	inputs := make([]view.ID, n)
+	relabelable := true
+	for p, mach := range init.Procs {
+		if r, ok := mach.(Relabelable); ok {
+			inputs[p] = r.InputID()
+		} else {
+			relabelable = false
+		}
+	}
+	wirings := make([][]int, n)
+	for p := 0; p < n; p++ {
+		wirings[p] = init.Mem.Wiring(p)
+	}
+
+	h := &groupHasher{m: m}
+	permute(n, func(pi []int) {
+		e, ok := admit(pi, classes, symmetric, inputs, relabelable, wirings, full)
+		if ok {
+			h.elems = append(h.elems, e)
+		}
+	})
+	return h, nil
+}
+
+// admit checks the admission rules for one processor permutation and, on
+// success, builds the element.
+func admit(pi []int, classes []string, symmetric bool, inputs []view.ID, relabelable bool, wirings [][]int, full bool) (element, bool) {
+	n := len(pi)
+	identity := true
+	for p, q := range pi {
+		if p != q {
+			identity = false
+			break
+		}
+	}
+	e := element{procInv: make([]int, n)}
+	for p, q := range pi {
+		e.procInv[q] = p
+	}
+	if identity {
+		return e, true
+	}
+	if !symmetric {
+		return element{}, false
+	}
+	for p := range pi {
+		if classes[pi[p]] != classes[p] {
+			return element{}, false
+		}
+	}
+
+	// Wiring rule: σ_{π(p)} = ρ∘σ_p for every p, with ρ pinned by p = 0.
+	m := len(wirings[0])
+	rho := make([]int, m)
+	if full {
+		for i := 0; i < m; i++ {
+			rho[wirings[0][i]] = wirings[pi[0]][i]
+		}
+	} else {
+		for i := range rho {
+			rho[i] = i
+		}
+	}
+	for p := range pi {
+		for i := 0; i < m; i++ {
+			if rho[wirings[p][i]] != wirings[pi[p]][i] {
+				return element{}, false
+			}
+		}
+	}
+	rhoIdentity := true
+	for g, gp := range rho {
+		if g != gp {
+			rhoIdentity = false
+			break
+		}
+	}
+	if !rhoIdentity {
+		e.regInv = make([]int, m)
+		for g, gp := range rho {
+			e.regInv[gp] = g
+		}
+	}
+
+	// Input rule: β(input_p) = input_{π(p)} must be a well-defined
+	// bijection. Machines without Relabelable vouch (via their
+	// SymmetryClass, which must then include the input) that π only
+	// exchanges equal-input processors, so β stays the identity.
+	if !relabelable {
+		return e, true
+	}
+	maxID := view.ID(0)
+	for _, id := range inputs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	const unset = view.ID(-1)
+	beta := make([]view.ID, maxID+1)
+	for i := range beta {
+		beta[i] = unset
+	}
+	betaIdentity := true
+	for p := range pi {
+		a, b := inputs[p], inputs[pi[p]]
+		if beta[a] == unset {
+			beta[a] = b
+		} else if beta[a] != b {
+			return element{}, false // ill-defined: π splits an input class
+		}
+		if a != b {
+			betaIdentity = false
+		}
+	}
+	if betaIdentity {
+		return e, true
+	}
+	hit := make([]bool, maxID+1)
+	for i, b := range beta {
+		if b == unset {
+			beta[i] = view.ID(i)
+			continue
+		}
+		if hit[b] {
+			return element{}, false // not injective
+		}
+		hit[b] = true
+	}
+	e.beta = beta
+	return e, true
+}
+
+// permute calls f with every permutation of 0..n-1. The identity comes
+// first, so elems[0] is always the identity element.
+func permute(n int, f func(pi []int)) {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			f(append([]int(nil), cur...))
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+}
+
+// Fingerprint implements Hasher: the minimum hash of sys's mirrors under
+// the admissible elements, with aux folded in afterwards.
+func (h *groupHasher) Fingerprint(sys *machine.System, aux uint64) uint64 {
+	min := ^uint64(0)
+	found := false
+	for i := range h.elems {
+		fp, ok := h.hashUnder(sys, &h.elems[i])
+		if ok && (!found || fp < min) {
+			min, found = fp, true
+		}
+	}
+	// elems[0] is the identity, which always hashes, so found holds.
+	return mixAux(min, aux)
+}
+
+// GroupSize implements Hasher.
+func (h *groupHasher) GroupSize() int { return len(h.elems) }
+
+// hashUnder hashes the mirror of sys under one element, in the exact
+// layout of the identity hash: registers in global order, machine state
+// keys in processor order, crash mask. It reports false when the element
+// has a non-identity β and some register word cannot be relabeled —
+// skipping such an element costs reduction, never soundness.
+func (h *groupHasher) hashUnder(sys *machine.System, e *element) (uint64, bool) {
+	var relabel func(view.ID) view.ID
+	if e.beta != nil {
+		beta := e.beta
+		relabel = func(id view.ID) view.ID {
+			if int(id) < len(beta) {
+				return beta[id]
+			}
+			return id
+		}
+	}
+	fp := uint64(fnvOffset64)
+	for g := 0; g < h.m; g++ {
+		src := g
+		if e.regInv != nil {
+			src = e.regInv[g]
+		}
+		w := sys.Mem.CellAt(src)
+		if relabel == nil {
+			fp = fnvString(fp, w.Key())
+		} else if wr, ok := w.(WordRelabeler); ok {
+			fp = fnvString(fp, wr.RelabelKey(relabel))
+		} else {
+			return 0, false
+		}
+	}
+	for _, p := range e.procInv {
+		mach := sys.Procs[p]
+		if relabel == nil {
+			fp = fnvString(fp, mach.StateKey())
+		} else {
+			// β ≠ id is only admitted when every machine is Relabelable.
+			fp = fnvString(fp, mach.(Relabelable).RelabelStateKey(relabel))
+		}
+	}
+	mask := sys.CrashMask()
+	if mask != 0 {
+		var mirrored uint64
+		for q, p := range e.procInv {
+			if mask&(1<<uint(p)) != 0 {
+				mirrored |= 1 << uint(q)
+			}
+		}
+		mask = mirrored
+	}
+	return mixCrash(fp, mask), true
+}

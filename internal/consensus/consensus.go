@@ -204,6 +204,15 @@ func (c *Consensus) StateKey() string {
 	}
 }
 
+// SymmetryClass identifies the machine for the symmetry-reduction layer
+// (canon.Symmetric). The input value is part of the class: the adoption
+// rule breaks timestamp ties by smallest label, so the algorithm is NOT
+// oblivious to value identity and only equal-input processors may be
+// exchanged (no canon.Relabelable).
+func (c *Consensus) SymmetryClass() string {
+	return "cs:" + c.snap.SymmetryClass() + ":in:" + c.input
+}
+
 // Config mirrors core.Config for building consensus systems.
 type Config = core.Config
 

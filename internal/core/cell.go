@@ -45,6 +45,13 @@ func (c Cell) Key() string {
 
 var _ anonmem.Word = Cell{}
 
+// RelabelKey returns the Key the cell would have if every input ID in
+// its view were replaced via relabel. It implements the register-word
+// half of the symmetry-reduction contract (canon.WordRelabeler).
+func (c Cell) RelabelKey(relabel func(view.ID) view.ID) string {
+	return Cell{View: c.View.Relabel(relabel), Level: c.Level}.Key()
+}
+
 // Viewer is implemented by machines that maintain a view; analyses (stable
 // views, GST detection) use it to observe local state without depending on
 // a concrete machine type.

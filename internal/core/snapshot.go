@@ -34,8 +34,9 @@ import (
 // Section 7: a new invocation keeps all local state but resets the level
 // to 0 and adds the new input to the view.
 type Snapshot struct {
-	n         int // termination level (number of processors)
-	m         int // number of registers
+	n         int     // termination level (number of processors)
+	m         int     // number of registers
+	input     view.ID // input of the current invocation (symmetry reduction only)
 	nondet    bool
 	phase     snapPhase
 	v         view.View
@@ -80,6 +81,7 @@ func NewSnapshotAtLevel(level, m int, input view.ID, nondet bool) *Snapshot {
 	return &Snapshot{
 		n:         level,
 		m:         m,
+		input:     input,
 		nondet:    nondet,
 		phase:     snapWrite,
 		v:         view.Of(input),
@@ -240,6 +242,7 @@ func (s *Snapshot) Invoke(input view.ID) {
 	}
 	s.phase = snapWrite
 	s.level = 0
+	s.input = input
 	s.v = s.v.With(input)
 	s.out = view.View{}
 	s.invokes++
@@ -291,4 +294,33 @@ func (s *Snapshot) StateKey() string {
 		sb.WriteString(s.out.Key())
 	}
 	return sb.String()
+}
+
+// SymmetryClass identifies the machine's program and parameters for the
+// symmetry-reduction layer (canon.Symmetric): two snapshot machines with
+// equal class run the same algorithm and may be exchanged by a processor
+// permutation. The input is deliberately absent — the machine is
+// value-oblivious and supports relabeling instead (see RelabelStateKey).
+func (s *Snapshot) SymmetryClass() string {
+	class := "sn:l" + strconv.Itoa(s.n) + ":m" + strconv.Itoa(s.m)
+	if s.nondet {
+		return class + ":nd1"
+	}
+	return class + ":nd0"
+}
+
+// InputID returns the input of the current invocation, the seed of the
+// symmetry layer's value relabeling (canon.Relabelable).
+func (s *Snapshot) InputID() view.ID { return s.input }
+
+// RelabelStateKey returns the StateKey the machine would have if every
+// input ID in its state were replaced via relabel. Figure 3 manipulates
+// views only through Equal/Union/level arithmetic, so relabeled states
+// step in lockstep with the originals (canon.Relabelable).
+func (s *Snapshot) RelabelStateKey(relabel func(view.ID) view.ID) string {
+	cp := *s
+	cp.v = s.v.Relabel(relabel)
+	cp.acc = s.acc.Relabel(relabel)
+	cp.out = s.out.Relabel(relabel)
+	return cp.StateKey()
 }

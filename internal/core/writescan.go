@@ -22,8 +22,9 @@ import (
 // which views can be maintained forever (stable views), and what structure
 // they form (Theorem 4.8: a DAG with a unique source).
 type WriteScan struct {
-	m         int  // number of registers
-	nondet    bool // expose all fair write choices to the explorer
+	m         int     // number of registers
+	input     view.ID // initial input (symmetry reduction only)
+	nondet    bool    // expose all fair write choices to the explorer
 	phase     phase
 	v         view.View
 	unwritten uint64 // bitmask over local register indices, fairness bookkeeping
@@ -52,6 +53,7 @@ func NewWriteScan(m int, input view.ID, nondet bool) *WriteScan {
 	}
 	return &WriteScan{
 		m:         m,
+		input:     input,
 		nondet:    nondet,
 		phase:     phaseWrite,
 		v:         view.Of(input),
@@ -182,4 +184,28 @@ func (w *WriteScan) StateKey() string {
 		sb.WriteString(w.acc.Key())
 	}
 	return sb.String()
+}
+
+// SymmetryClass identifies the machine's program and parameters for the
+// symmetry-reduction layer (canon.Symmetric). Like the snapshot machine,
+// the write-scan loop is value-oblivious, so the input is absent and
+// relabeling is supported instead.
+func (w *WriteScan) SymmetryClass() string {
+	class := "ws:m" + strconv.Itoa(w.m)
+	if w.nondet {
+		return class + ":nd1"
+	}
+	return class + ":nd0"
+}
+
+// InputID returns the machine's input (canon.Relabelable).
+func (w *WriteScan) InputID() view.ID { return w.input }
+
+// RelabelStateKey returns the StateKey the machine would have if every
+// input ID in its state were replaced via relabel (canon.Relabelable).
+func (w *WriteScan) RelabelStateKey(relabel func(view.ID) view.ID) string {
+	cp := *w
+	cp.v = w.v.Relabel(relabel)
+	cp.acc = w.acc.Relabel(relabel)
+	return cp.StateKey()
 }

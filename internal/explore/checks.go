@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"anonshm/internal/canon"
 	"anonshm/internal/consensus"
 	"anonshm/internal/core"
 	"anonshm/internal/machine"
@@ -75,9 +76,18 @@ type SnapshotConfig struct {
 	Inputs []string
 	// Nondet explores the algorithm's internal register choices too.
 	Nondet bool
-	// Canonical fixes processor 0's wiring to the identity (sound symmetry
-	// reduction; see ForAllWirings).
-	Canonical bool
+	// Wirings selects which wiring assignments the sweep visits (see
+	// WiringFilter): FilterAll (the zero value) enumerates every
+	// assignment, FilterProc0 pins processor 0 to the identity wiring,
+	// FilterOrbits keeps one representative per wiring orbit. The orbit
+	// cut is sound here because Figure 3 and the snapshot-task invariants
+	// are oblivious to input-value identity.
+	Wirings WiringFilter
+	// Symmetry selects state-level canonicalization for every per-wiring
+	// run: canon.None (exact states), canon.Proc (processor
+	// permutations), canon.Full (joint processor and register
+	// permutations). See Options.Canonicalizer.
+	Symmetry canon.Symmetry
 	// Level overrides the termination level (0 = N), for the ablation.
 	Level     int
 	MaxStates int
@@ -123,6 +133,7 @@ func (c SnapshotConfig) options() Options {
 		Workers:       c.Workers,
 		MaxStates:     c.MaxStates,
 		MaxCrashes:    c.MaxCrashes,
+		Canonicalizer: c.Symmetry.Canonicalizer(),
 		Traces:        c.Traces,
 		Progress:      c.Progress,
 		ProgressEvery: c.ProgressEvery,
@@ -158,7 +169,7 @@ func (c SnapshotConfig) system(perms [][]int) (*machine.System, []view.ID, error
 func CheckSnapshotSafety(c SnapshotConfig) (SweepResult, error) {
 	var sweep SweepResult
 	n := len(c.Inputs)
-	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
+	err := forEachWiring(n, registersFor(c), WiringOptions{Filter: c.Wirings}, func(perms [][]int) error {
 		sys, ids, err := c.system(perms)
 		if err != nil {
 			return err
@@ -190,7 +201,7 @@ func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
 		bound = DefaultSoloBound(len(c.Inputs), registersFor(c))
 	}
 	n := len(c.Inputs)
-	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
+	err := forEachWiring(n, registersFor(c), WiringOptions{Filter: c.Wirings}, func(perms [][]int) error {
 		sys, _, err := c.system(perms)
 		if err != nil {
 			return err
@@ -336,6 +347,12 @@ func FindNonAtomicityWitnessIn(c SnapshotConfig, perms [][]int) (WitnessResult, 
 		opts.Aux = aux
 		opts.Invariant = invariant
 		opts.Prune = prune
+		// The aux bit ("the memory union has equaled the candidate") and
+		// the candidate-directed prune track a FIXED view, which a
+		// symmetry canonicalizer's value relabeling does not preserve —
+		// they are not orbit-invariant. The witness search therefore
+		// always runs unreduced, whatever c.Symmetry says.
+		opts.Canonicalizer = canon.Identity{}
 		res, err := Run(sys.Clone(), opts)
 		if err != nil {
 			var ie *InvariantError
@@ -362,7 +379,7 @@ func FindNonAtomicityWitnessIn(c SnapshotConfig, perms [][]int) (WitnessResult, 
 func FindNonAtomicityWitness(c SnapshotConfig) (WitnessResult, error) {
 	n := len(c.Inputs)
 	result := WitnessResult{Exhaustive: true}
-	err := ForAllWirings(n, registersFor(c), c.Canonical, func(perms [][]int) error {
+	err := forEachWiring(n, registersFor(c), WiringOptions{Filter: c.Wirings}, func(perms [][]int) error {
 		if result.Found {
 			return nil
 		}
@@ -413,8 +430,16 @@ type ConsensusConfig struct {
 	// MaxTimestamp bounds exploration: states where any processor's
 	// timestamp exceeds it are kept but not expanded.
 	MaxTimestamp int
-	Canonical    bool
-	MaxStates    int
+	// Wirings selects which wiring assignments the sweep visits. The
+	// orbit cut passes the inputs as groups: Figure 5 breaks timestamp
+	// ties by smallest label, so only equal-input processors may be
+	// permuted.
+	Wirings WiringFilter
+	// Symmetry selects state-level canonicalization for every per-wiring
+	// run (processors are only exchanged within equal inputs, for the
+	// same tie-breaking reason; see Consensus.SymmetryClass).
+	Symmetry  canon.Symmetry
+	MaxStates int
 	// MaxCrashes explores crash faults (see Options.MaxCrashes); agreement
 	// and validity are safety properties, so they must hold in every crash
 	// pattern too.
@@ -441,7 +466,7 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 	for _, v := range c.Inputs {
 		valid[v] = true
 	}
-	err := ForAllWirings(n, n, c.Canonical, func(perms [][]int) error {
+	err := forEachWiring(n, n, WiringOptions{Filter: c.Wirings, Groups: c.Inputs}, func(perms [][]int) error {
 		sys, in, err := consensus.NewSystem(consensus.Config{Inputs: c.Inputs, Wirings: perms})
 		if err != nil {
 			return err
@@ -481,14 +506,15 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 			engine = DFSEngine
 		}
 		res, err := Run(sys, Options{
-			Engine:     engine,
-			Workers:    c.Workers,
-			MaxStates:  c.MaxStates,
-			MaxCrashes: c.MaxCrashes,
-			Invariant:  invariant,
-			Prune:      prune,
-			Obs:        c.Obs,
-			Events:     c.Events,
+			Engine:        engine,
+			Workers:       c.Workers,
+			MaxStates:     c.MaxStates,
+			MaxCrashes:    c.MaxCrashes,
+			Canonicalizer: c.Symmetry.Canonicalizer(),
+			Invariant:     invariant,
+			Prune:         prune,
+			Obs:           c.Obs,
+			Events:        c.Events,
 		})
 		sweep.accumulate(res)
 		return err

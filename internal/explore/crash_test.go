@@ -140,7 +140,7 @@ func TestWaitFreeWithCrashes(t *testing.T) {
 	c := SnapshotConfig{
 		Inputs:     []string{"a", "b"},
 		Nondet:     true,
-		Canonical:  true,
+		Wirings:    FilterProc0,
 		MaxCrashes: 1,
 		Traces:     true,
 	}

@@ -70,7 +70,7 @@ func TestRunDeterminism(t *testing.T) {
 // exercises SnapshotInvariant and the wiring enumeration in checks.go)
 // and demands identical aggregates.
 func TestSweepDeterminism(t *testing.T) {
-	cfg := SnapshotConfig{Inputs: []string{"a", "b"}, Canonical: true, Nondet: true}
+	cfg := SnapshotConfig{Inputs: []string{"a", "b"}, Wirings: FilterProc0, Nondet: true}
 	type sweepKey struct {
 		wirings, totalStates, totalEdges, maxStates, terminals int
 		truncated                                              bool

@@ -85,7 +85,7 @@ func runDFS(init *machine.System, opts Options) (Result, error) {
 
 	initSys := init.Clone()
 	res.Stats.DedupLookups++
-	stack, err := push(nil, initSys, fingerprint(initSys, opts.InitAux), opts.InitAux, machine.StepInfo{}, 0)
+	stack, err := push(nil, initSys, opts.hasher.Fingerprint(initSys, opts.InitAux), opts.InitAux, machine.StepInfo{}, 0)
 	if err != nil {
 		return finish(), err
 	}
@@ -158,7 +158,7 @@ func runDFS(init *machine.System, opts Options) (Result, error) {
 		if opts.Aux != nil {
 			aux = opts.Aux(aux, info, succ)
 		}
-		fp := fingerprint(succ, aux)
+		fp := opts.hasher.Fingerprint(succ, aux)
 		res.Stats.DedupLookups++
 		switch color[fp] {
 		case grey:

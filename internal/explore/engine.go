@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"anonshm/internal/canon"
 	"anonshm/internal/machine"
 )
 
@@ -65,6 +66,17 @@ func ParseEngine(s string) (Engine, error) {
 	default:
 		return AutoEngine, fmt.Errorf("explore: unknown engine %q (want auto, bfs, dfs or parallel)", s)
 	}
+}
+
+// Set implements flag.Value, so cmd binaries can register an Engine
+// directly with flag.Var instead of hand-rolling ParseEngine plumbing.
+func (e *Engine) Set(s string) error {
+	v, err := ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	*e = v
+	return nil
 }
 
 // Capabilities describes which optional features an engine supports. Run
@@ -133,15 +145,21 @@ func Run(init *machine.System, opts Options) (Result, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
+	canonicalizer := opts.Canonicalizer
+	if canonicalizer == nil {
+		canonicalizer = canon.Identity{}
+	}
+	hasher, err := canonicalizer.Bind(init)
+	if err != nil {
+		return Result{}, fmt.Errorf("explore: %w", err)
+	}
+	opts.hasher = hasher
 	opts = hookObsProgress(opts)
 	emitEngineStart(opts.Events, engine, opts.Workers)
 
 	//lint:ignore anonlint/determinism wall time feeds only Stats (throughput reporting), never fingerprints, traces or state counts
 	start := time.Now()
-	var (
-		res Result
-		err error
-	)
+	var res Result
 	switch engine {
 	case BFSEngine:
 		res, err = runBFS(init, opts)
@@ -156,24 +174,10 @@ func Run(init *machine.System, opts Options) (Result, error) {
 	if res.Stats.Workers == 0 {
 		res.Stats.Workers = 1
 	}
+	res.Stats.Symmetry = canonicalizer.String()
+	res.Stats.GroupSize = hasher.GroupSize()
 	res.Stats.finalize(time.Since(start), res.States)
 	publishStats(opts.Obs, res)
 	emitEngineFinish(opts.Events, res, err)
 	return res, err
-}
-
-// BFS explores every reachable state of init breadth-first.
-//
-// Deprecated: use Run with Options.Engine = BFSEngine.
-func BFS(init *machine.System, opts Options) (Result, error) {
-	opts.Engine = BFSEngine
-	return Run(init, opts)
-}
-
-// DFS explores every reachable state of init depth-first.
-//
-// Deprecated: use Run with Options.Engine = DFSEngine.
-func DFS(init *machine.System, opts Options) (Result, error) {
-	opts.Engine = DFSEngine
-	return Run(init, opts)
 }

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"testing"
 
@@ -24,16 +25,12 @@ type engineCase struct {
 func engineSystems(t *testing.T) map[string]engineCase {
 	t.Helper()
 	out := map[string]engineCase{}
-	err := ForAllWirings(2, 2, true, func(perms [][]int) error {
+	for perms := range Wirings(2, 2, WiringOptions{Filter: FilterProc0}) {
 		sys, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b"}, Wirings: perms, Nondet: true})
 		if err != nil {
-			return err
+			t.Fatal(err)
 		}
 		out[fmt.Sprintf("snapshot-n2-%v", perms[1])] = engineCase{sys: sys}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
 	sys3, _, err := core.NewSnapshotSystem(core.Config{Inputs: []string{"a", "b", "c"}})
 	if err != nil {
@@ -303,11 +300,49 @@ func TestParseEngine(t *testing.T) {
 	}
 }
 
+// TestEngineFlagValue: Engine implements flag.Value, so cmd binaries can
+// register it with flag.Var directly.
+func TestEngineFlagValue(t *testing.T) {
+	var e Engine
+	var _ flag.Value = &e
+	if err := e.Set("parallel"); err != nil || e != ParallelEngine {
+		t.Errorf("Set(parallel) = %v, e=%v", err, e)
+	}
+	if err := e.Set("bogus"); err == nil {
+		t.Error("Set(bogus) accepted")
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var got Engine
+	fs.Var(&got, "engine", "")
+	if err := fs.Parse([]string{"-engine", "dfs"}); err != nil || got != DFSEngine {
+		t.Errorf("flag parse: err=%v got=%v", err, got)
+	}
+}
+
+// TestWiringFilterFlagValue: WiringFilter round-trips through flag.Value.
+func TestWiringFilterFlagValue(t *testing.T) {
+	var f WiringFilter
+	var _ flag.Value = &f
+	for s, want := range map[string]WiringFilter{
+		"all": FilterAll, "proc0": FilterProc0, "orbits": FilterOrbits,
+	} {
+		if err := f.Set(s); err != nil || f != want {
+			t.Errorf("Set(%q) = %v, f=%v", s, err, f)
+		}
+		if f.String() != s {
+			t.Errorf("String() = %q, want %q", f.String(), s)
+		}
+	}
+	if err := f.Set("bogus"); err == nil {
+		t.Error("Set(bogus) accepted")
+	}
+}
+
 // TestChecksAcceptEngines: the packaged sweeps take an engine and report
 // identical totals across engines; engines that cannot answer the
 // question are rejected uniformly.
 func TestChecksAcceptEngines(t *testing.T) {
-	base := SnapshotConfig{Inputs: []string{"a", "b"}, Nondet: true, Canonical: true}
+	base := SnapshotConfig{Inputs: []string{"a", "b"}, Nondet: true, Wirings: FilterProc0}
 	ref, err := CheckSnapshotSafety(base)
 	if err != nil {
 		t.Fatal(err)
@@ -341,7 +376,7 @@ func TestChecksAcceptEngines(t *testing.T) {
 
 	// The witness search runs on any engine; at N=2 all prove atomicity.
 	for _, engine := range []Engine{DFSEngine, ParallelEngine} {
-		w := SnapshotConfig{Inputs: []string{"a", "b"}, Canonical: true, Engine: engine, Workers: 2}
+		w := SnapshotConfig{Inputs: []string{"a", "b"}, Wirings: FilterProc0, Engine: engine, Workers: 2}
 		r, err := FindNonAtomicityWitness(w)
 		if err != nil {
 			t.Fatalf("witness with %v: %v", engine, err)
@@ -352,12 +387,12 @@ func TestChecksAcceptEngines(t *testing.T) {
 	}
 
 	// Consensus sweep on the parallel engine matches the serial totals.
-	cref, err := CheckConsensusBounded(ConsensusConfig{Inputs: []string{"x", "y"}, MaxTimestamp: 2, Canonical: true})
+	cref, err := CheckConsensusBounded(ConsensusConfig{Inputs: []string{"x", "y"}, MaxTimestamp: 2, Wirings: FilterProc0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cpar, err := CheckConsensusBounded(ConsensusConfig{
-		Inputs: []string{"x", "y"}, MaxTimestamp: 2, Canonical: true,
+		Inputs: []string{"x", "y"}, MaxTimestamp: 2, Wirings: FilterProc0,
 		Engine: ParallelEngine, Workers: 4,
 	})
 	if err != nil {

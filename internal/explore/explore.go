@@ -23,9 +23,14 @@
 //     sinks);
 //   - a 64-bit auxiliary state folded into the fingerprint, used e.g. to
 //     search for the paper's non-atomicity witness (Section 8);
-//   - enumeration of wiring permutations with symmetry reduction
-//     (processor 0's wiring is WLOG the identity: relabeling registers
-//     globally preserves behaviour).
+//   - symmetry reduction: Options.Canonicalizer plugs an internal/canon
+//     canonicalizer into the fingerprint seam, so states that differ only
+//     by a processor permutation (and, with canon.FullSymmetry, a joint
+//     register permutation within the wiring orbit) are stored once;
+//   - enumeration of wiring assignments as a Go 1.23 iterator (Wirings)
+//     with selectable symmetry filters (WiringFilter): all assignments,
+//     processor 0 pinned to the identity wiring, or one representative
+//     per wiring orbit.
 //
 // Picking an engine:
 //
@@ -45,6 +50,7 @@ import (
 	"fmt"
 	"strings"
 
+	"anonshm/internal/canon"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
 )
@@ -68,6 +74,20 @@ type Options struct {
 	// MaxStates bounds the number of distinct states; exceeding it sets
 	// Result.Truncated instead of failing. Zero means DefaultMaxStates.
 	MaxStates int
+	// Canonicalizer quotients the state space by the model's symmetries
+	// before fingerprinting (nil = canon.Identity, no reduction): states
+	// related by an admissible processor/register permutation share a
+	// fingerprint and are stored once. See internal/canon for the
+	// soundness rules. The reduction requires Invariant, Prune and Aux to
+	// be orbit-invariant — they must not distinguish states the
+	// canonicalizer merges. Counterexample traces remain valid executions;
+	// with a cycle detector, the reported cycle closes at a state
+	// symmetric to one on the path (a genuine non-termination witness,
+	// since symmetry orbits are finite).
+	Canonicalizer canon.Canonicalizer
+	// hasher is the canonicalizer bound to the initial system; Run sets
+	// it before dispatching to an engine.
+	hasher canon.Hasher
 	// MaxCrashes explores the crash-stop fault model: in every state whose
 	// crash count is below the budget, each enabled processor may crash
 	// (machine.System.Crash) as an additional transition. With budget
@@ -162,45 +182,6 @@ type StateGraph struct {
 	terminal []bool
 }
 
-// FNV-1a constants, inlined to avoid per-state hasher allocations.
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-func fnvString(fp uint64, s string) uint64 {
-	for i := 0; i < len(s); i++ {
-		fp ^= uint64(s[i])
-		fp *= fnvPrime64
-	}
-	fp ^= 0xff // separator
-	fp *= fnvPrime64
-	return fp
-}
-
-// fingerprint hashes the register contents, every machine's local state,
-// the crash mask, and the auxiliary value into 64 bits.
-func fingerprint(sys *machine.System, aux uint64) uint64 {
-	fp := uint64(fnvOffset64)
-	for g := 0; g < sys.Mem.M(); g++ {
-		fp = fnvString(fp, sys.Mem.CellAt(g).Key())
-	}
-	for _, m := range sys.Procs {
-		fp = fnvString(fp, m.StateKey())
-	}
-	if mask := sys.CrashMask(); mask != 0 {
-		// Mix the mask so single-bit crash differences flip ~half the
-		// fingerprint; failure-free states keep their historical hash.
-		z := mask + 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		fp ^= z ^ (z >> 27)
-	}
-	if aux != 0 {
-		fp ^= (aux + 0x9e3779b97f4a7c15) * 0xff51afd7ed558ccd
-	}
-	return fp
-}
-
 // queueEntry is a frontier state awaiting expansion. Sys is released once
 // the state has been expanded.
 type queueEntry struct {
@@ -240,7 +221,7 @@ func runBFS(init *machine.System, opts Options) (Result, error) {
 	}
 
 	add := func(sys *machine.System, aux uint64, depth int32, from int32, info machine.StepInfo) (int32, error) {
-		fp := fingerprint(sys, aux)
+		fp := opts.hasher.Fingerprint(sys, aux)
 		res.Stats.DedupLookups++
 		if id, ok := seen[fp]; ok {
 			res.Stats.DedupHits++
@@ -417,79 +398,6 @@ func (g *StateGraph) Deadlocked() []int {
 		}
 	}
 	return out
-}
-
-// Permutations returns all permutations of 0..m-1 in lexicographic order
-// of generation (identity first).
-func Permutations(m int) [][]int {
-	cur := make([]int, m)
-	for i := range cur {
-		cur[i] = i
-	}
-	var out [][]int
-	var rec func(k int)
-	rec = func(k int) {
-		if k == m {
-			out = append(out, append([]int(nil), cur...))
-			return
-		}
-		for i := k; i < m; i++ {
-			cur[k], cur[i] = cur[i], cur[k]
-			rec(k + 1)
-			cur[k], cur[i] = cur[i], cur[k]
-		}
-	}
-	rec(0)
-	return out
-}
-
-// ForAllWirings invokes f for every assignment of wiring permutations to n
-// processors over m registers. With canonical true, processor 0's wiring
-// is fixed to the identity: a global relabeling of the registers maps any
-// system to one of this form without changing behaviour, so the reduction
-// is sound for properties invariant under register renaming (all of ours).
-func ForAllWirings(n, m int, canonical bool, f func(perms [][]int) error) error {
-	perms := Permutations(m)
-	choice := make([][]int, n)
-	var rec func(p int) error
-	rec = func(p int) error {
-		if p == n {
-			cp := make([][]int, n)
-			for i := range choice {
-				cp[i] = append([]int(nil), choice[i]...)
-			}
-			return f(cp)
-		}
-		if p == 0 && canonical {
-			choice[0] = perms[0] // identity is first
-			return rec(1)
-		}
-		for _, perm := range perms {
-			choice[p] = perm
-			if err := rec(p + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return rec(0)
-}
-
-// WiringCount returns how many wiring assignments ForAllWirings visits.
-func WiringCount(n, m int, canonical bool) int {
-	fact := 1
-	for i := 2; i <= m; i++ {
-		fact *= i
-	}
-	total := 1
-	start := 0
-	if canonical {
-		start = 1
-	}
-	for p := start; p < n; p++ {
-		total *= fact
-	}
-	return total
 }
 
 // FormatTrace renders a counterexample trace compactly.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"anonshm/internal/anonmem"
+	"anonshm/internal/canon"
 	"anonshm/internal/core"
 	"anonshm/internal/machine"
 	"anonshm/internal/view"
@@ -29,37 +30,110 @@ func TestPermutations(t *testing.T) {
 	}
 }
 
-func TestWiringCountAndForAllWirings(t *testing.T) {
+func TestWiringCountAndWirings(t *testing.T) {
 	for _, c := range []struct {
-		n, m      int
-		canonical bool
-		want      int
+		n, m   int
+		filter WiringFilter
+		want   int
 	}{
-		{2, 2, true, 2}, {2, 2, false, 4},
-		{3, 3, true, 36}, {3, 3, false, 216},
-		{1, 3, true, 1},
+		{2, 2, FilterProc0, 2}, {2, 2, FilterAll, 4},
+		{3, 3, FilterProc0, 36}, {3, 3, FilterAll, 216},
+		{1, 3, FilterProc0, 1},
+		// Orbit counts verified by Burnside's lemma over the action
+		// σ'_q = ρ∘σ_{π(q)} of S_n × S_m on wiring assignments.
+		{2, 2, FilterOrbits, 2}, {3, 3, FilterOrbits, 10},
+		{1, 3, FilterOrbits, 1},
 	} {
-		if got := WiringCount(c.n, c.m, c.canonical); got != c.want {
-			t.Errorf("WiringCount(%d,%d,%v) = %d, want %d", c.n, c.m, c.canonical, got, c.want)
+		if got := WiringCount(c.n, c.m, c.filter); got != c.want {
+			t.Errorf("WiringCount(%d,%d,%v) = %d, want %d", c.n, c.m, c.filter, got, c.want)
 		}
 		count := 0
-		err := ForAllWirings(c.n, c.m, c.canonical, func(perms [][]int) error {
+		for perms := range Wirings(c.n, c.m, WiringOptions{Filter: c.filter}) {
 			count++
 			if len(perms) != c.n {
 				t.Fatalf("wiring for %d processors", len(perms))
 			}
-			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
 		}
 		if count != c.want {
-			t.Errorf("ForAllWirings(%d,%d,%v) visited %d, want %d", c.n, c.m, c.canonical, count, c.want)
+			t.Errorf("Wirings(%d,%d,%v) yielded %d, want %d", c.n, c.m, c.filter, count, c.want)
 		}
 	}
 }
 
-func TestForAllWiringsPropagatesError(t *testing.T) {
+// TestWiringOrbitsCoverAll checks FilterOrbits soundness directly: every
+// FilterAll wiring must be reachable from some yielded representative by
+// a processor permutation π composed with a register permutation ρ.
+func TestWiringOrbitsCoverAll(t *testing.T) {
+	const n, m = 2, 3
+	reps := [][][]int{}
+	for perms := range Wirings(n, m, WiringOptions{Filter: FilterOrbits}) {
+		reps = append(reps, perms)
+	}
+	procPerms := Permutations(n)
+	regPerms := Permutations(m)
+	covered := func(w [][]int) bool {
+		for _, rep := range reps {
+			for _, pi := range procPerms {
+				for _, rho := range regPerms {
+					ok := true
+					for q := 0; q < n && ok; q++ {
+						for i := 0; i < m; i++ {
+							if w[q][i] != rho[rep[pi[q]][i]] {
+								ok = false
+								break
+							}
+						}
+					}
+					if ok {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	total := 0
+	for w := range Wirings(n, m, WiringOptions{Filter: FilterAll}) {
+		total++
+		if !covered(w) {
+			t.Fatalf("wiring %v not covered by any orbit representative", w)
+		}
+	}
+	if total != WiringCount(n, m, FilterAll) {
+		t.Fatalf("enumerated %d wirings, want %d", total, WiringCount(n, m, FilterAll))
+	}
+}
+
+// TestWiringGroupsRestrictOrbits checks that Groups confines the
+// processor permutation: with distinct groups no processor swap is
+// admissible, so the orbit count can only go up.
+func TestWiringGroupsRestrictOrbits(t *testing.T) {
+	free := 0
+	for range Wirings(2, 2, WiringOptions{Filter: FilterOrbits}) {
+		free++
+	}
+	grouped := 0
+	for range Wirings(2, 2, WiringOptions{Filter: FilterOrbits, Groups: []string{"x", "y"}}) {
+		grouped++
+	}
+	if grouped < free {
+		t.Errorf("grouped orbits %d < ungrouped %d", grouped, free)
+	}
+}
+
+func TestForAllWiringsCompat(t *testing.T) {
+	// The deprecated wrapper maps canonical=true to FilterProc0 and
+	// propagates callback errors.
+	count := 0
+	if err := ForAllWirings(2, 2, true, func(perms [][]int) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("ForAllWirings(2,2,true) visited %d, want 2", count)
+	}
 	sentinel := errors.New("stop")
 	calls := 0
 	err := ForAllWirings(2, 2, false, func([][]int) error {
@@ -75,11 +149,15 @@ func TestForAllWiringsPropagatesError(t *testing.T) {
 // they agree on state and terminal counts.
 func exploreBoth(t *testing.T, sys *machine.System, opts Options) (Result, Result) {
 	t.Helper()
-	b, err := BFS(sys.Clone(), opts)
+	bOpts := opts
+	bOpts.Engine = BFSEngine
+	b, err := Run(sys.Clone(), bOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := DFS(sys.Clone(), opts)
+	dOpts := opts
+	dOpts.Engine = DFSEngine
+	d, err := Run(sys.Clone(), dOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +188,7 @@ func TestSnapshotSafetyN2AllWirings(t *testing.T) {
 	sweep, err := CheckSnapshotSafety(SnapshotConfig{
 		Inputs:    []string{"a", "b"},
 		Nondet:    true,
-		Canonical: true,
+		Wirings:   FilterProc0,
 		Traces:    true,
 	})
 	if err != nil {
@@ -129,7 +207,7 @@ func TestSnapshotSafetyN2Groups(t *testing.T) {
 	if _, err := CheckSnapshotSafety(SnapshotConfig{
 		Inputs:    []string{"g", "g"},
 		Nondet:    true,
-		Canonical: true,
+		Wirings:   FilterProc0,
 	}); err != nil {
 		t.Fatalf("safety violated: %v", err)
 	}
@@ -139,7 +217,7 @@ func TestSnapshotWaitFreeN2AllWirings(t *testing.T) {
 	sweep, err := CheckSnapshotWaitFree(SnapshotConfig{
 		Inputs:    []string{"a", "b"},
 		Nondet:    true,
-		Canonical: true,
+		Wirings:   FilterProc0,
 		Traces:    true,
 	})
 	if err != nil {
@@ -157,7 +235,7 @@ func TestFootnote4LevelN1SufficesAtN2(t *testing.T) {
 		Inputs:    []string{"a", "b"},
 		Level:     1,
 		Nondet:    true,
-		Canonical: true,
+		Wirings:   FilterProc0,
 	}); err != nil {
 		t.Fatalf("level N-1 unsafe at N=2: %v", err)
 	}
@@ -165,7 +243,7 @@ func TestFootnote4LevelN1SufficesAtN2(t *testing.T) {
 		Inputs:    []string{"a", "b"},
 		Level:     1,
 		Nondet:    true,
-		Canonical: true,
+		Wirings:   FilterProc0,
 	}); err != nil {
 		t.Fatalf("level N-1 not wait-free at N=2: %v", err)
 	}
@@ -178,7 +256,7 @@ func TestWriteScanHasCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := DFS(sys.Clone(), Options{Traces: true})
+	d, err := Run(sys.Clone(), Options{Engine: DFSEngine, Traces: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +266,7 @@ func TestWriteScanHasCycles(t *testing.T) {
 	if len(d.CycleTrace) == 0 {
 		t.Error("no cycle trace recorded")
 	}
-	b, err := BFS(sys.Clone(), Options{TrackGraph: true})
+	b, err := Run(sys.Clone(), Options{Engine: BFSEngine, TrackGraph: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,8 +290,9 @@ func TestInvariantViolationCarriesTrace(t *testing.T) {
 		}
 		return nil
 	}
-	for name, run := range map[string]func(*machine.System, Options) (Result, error){"bfs": BFS, "dfs": DFS} {
-		_, err := run(sys.Clone(), Options{Invariant: inv, Traces: true})
+	for _, engine := range []Engine{BFSEngine, DFSEngine} {
+		name := engine.String()
+		_, err := Run(sys.Clone(), Options{Engine: engine, Invariant: inv, Traces: true})
 		var ie *InvariantError
 		if !errors.As(err, &ie) {
 			t.Fatalf("%s: err = %v", name, err)
@@ -240,8 +319,9 @@ func TestTruncationReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, run := range map[string]func(*machine.System, Options) (Result, error){"bfs": BFS, "dfs": DFS} {
-		res, err := run(sys.Clone(), Options{MaxStates: 1000})
+	for _, engine := range []Engine{BFSEngine, DFSEngine} {
+		name := engine.String()
+		res, err := Run(sys.Clone(), Options{Engine: engine, MaxStates: 1000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,11 +336,11 @@ func TestPruneCuts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := DFS(sys.Clone(), Options{})
+	full, err := Run(sys.Clone(), Options{Engine: DFSEngine})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := DFS(sys.Clone(), Options{Prune: func(n Node) bool { return n.Depth >= 5 }})
+	pruned, err := Run(sys.Clone(), Options{Engine: DFSEngine, Prune: func(n Node) bool { return n.Depth >= 5 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +357,7 @@ func TestDFSRejectsTrackGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DFS(sys, Options{TrackGraph: true}); err == nil {
+	if _, err := Run(sys, Options{Engine: DFSEngine, TrackGraph: true}); err == nil {
 		t.Error("TrackGraph accepted by DFS")
 	}
 }
@@ -288,7 +368,7 @@ func TestNoWitnessAtN2(t *testing.T) {
 	// instant). The paper's non-atomicity witness requires N=3.
 	r, err := FindNonAtomicityWitness(SnapshotConfig{
 		Inputs:    []string{"a", "b"},
-		Canonical: true,
+		Wirings:   FilterProc0,
 		Traces:    true,
 	})
 	if err != nil {
@@ -306,7 +386,7 @@ func TestConsensusBoundedN2(t *testing.T) {
 	sweep, err := CheckConsensusBounded(ConsensusConfig{
 		Inputs:       []string{"x", "y"},
 		MaxTimestamp: 2,
-		Canonical:    true,
+		Wirings:      FilterProc0,
 	})
 	if err != nil {
 		t.Fatalf("consensus safety violated: %v", err)
@@ -378,7 +458,7 @@ func TestCheckSnapshotSafetyDetectsBrokenLevel(t *testing.T) {
 	_, err := CheckSnapshotSafety(SnapshotConfig{
 		Inputs:    []string{"a", "b", "c"},
 		Level:     1,
-		Canonical: true,
+		Wirings:   FilterProc0,
 		MaxStates: 60_000,
 		Traces:    true,
 	})
@@ -397,35 +477,35 @@ func TestFingerprintSensitivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp0 := fingerprint(sys, 0)
-	if fingerprint(sys, 0) != fp0 {
+	hasher, err := canon.Identity{}.Bind(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp0 := hasher.Fingerprint(sys, 0)
+	if hasher.Fingerprint(sys, 0) != fp0 {
 		t.Error("fingerprint not deterministic")
 	}
-	if fingerprint(sys, 1) == fp0 {
+	if hasher.Fingerprint(sys, 1) == fp0 {
 		t.Error("aux not folded into fingerprint")
 	}
 	cp := sys.Clone()
 	if _, err := cp.Step(0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if fingerprint(cp, 0) == fp0 {
+	if hasher.Fingerprint(cp, 0) == fp0 {
 		t.Error("step did not change fingerprint")
 	}
 }
 
 func TestWiringsAreRestoredPerCall(t *testing.T) {
-	// ForAllWirings hands out independent copies.
+	// Wirings hands out independent copies.
 	var first [][]int
-	err := ForAllWirings(2, 2, false, func(perms [][]int) error {
+	for perms := range Wirings(2, 2, WiringOptions{}) {
 		if first == nil {
 			first = perms
-			return nil
+			continue
 		}
 		first[0][0] = 99 // mutate previous copy; must not affect anything
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
 	if _, err := anonmem.New(2, core.EmptyCell, anonmem.IdentityWirings(2, 2)); err != nil {
 		t.Fatal(err)

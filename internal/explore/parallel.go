@@ -281,7 +281,7 @@ func runParallel(init *machine.System, opts Options) (Result, error) {
 
 	// Seed the root state on worker 0.
 	rootSys := init.Clone()
-	rootFP := fingerprint(rootSys, opts.InitAux)
+	rootFP := opts.hasher.Fingerprint(rootSys, opts.InitAux)
 	p.table.insert(rootFP)
 	p.workers[0].lookups++
 	p.states.Store(1)
@@ -435,7 +435,7 @@ func (p *parRun) successor(w int, e parEntry, succ *machine.System, info machine
 	if p.opts.Aux != nil {
 		aux = p.opts.Aux(aux, info, succ)
 	}
-	fp := fingerprint(succ, aux)
+	fp := p.opts.hasher.Fingerprint(succ, aux)
 	self.lookups++
 	if !p.table.insert(fp) {
 		self.hits++

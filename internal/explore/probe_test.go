@@ -13,13 +13,14 @@ func TestProbeSizes(t *testing.T) {
 	if os.Getenv("ANONSHM_PROBE") == "" {
 		t.Skip("set ANONSHM_PROBE=1 to run")
 	}
-	c := SnapshotConfig{Inputs: []string{"a", "b", "c"}, Canonical: true, MaxStates: 400_000_000}
+	c := SnapshotConfig{Inputs: []string{"a", "b", "c"}, Wirings: FilterProc0, MaxStates: 400_000_000}
 	sys, _, err := c.system(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := DFS(sys, Options{
+	res, err := Run(sys, Options{
+		Engine:    DFSEngine,
 		MaxStates: c.MaxStates,
 		Progress: func(states, edges int) {
 			fmt.Printf("... %d states, %d edges, %v\n", states, edges, time.Since(start))

@@ -12,6 +12,12 @@ import (
 type Stats struct {
 	// Engine is the engine that actually ran (AutoEngine resolved).
 	Engine Engine
+	// Symmetry names the canonicalizer the run fingerprinted under
+	// ("none", "proc", "full").
+	Symmetry string
+	// GroupSize is the number of admissible symmetry-group elements the
+	// canonicalizer bound for the initial system (1 = no reduction).
+	GroupSize int
 	// Workers is the number of expansion workers (1 for serial engines).
 	Workers int
 	// WallTime is the end-to-end duration of the search.
@@ -55,6 +61,12 @@ func (s *Stats) Merge(o Stats) {
 	if s.Engine == AutoEngine {
 		s.Engine = o.Engine
 	}
+	if s.Symmetry == "" {
+		s.Symmetry = o.Symmetry
+	}
+	if o.GroupSize > s.GroupSize {
+		s.GroupSize = o.GroupSize
+	}
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
 	}
@@ -90,5 +102,8 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "engine=%s workers=%d wall=%v states/sec=%.0f frontier-peak=%d dedup-hit=%.1f%%",
 		s.Engine, s.Workers, s.WallTime.Round(time.Millisecond), s.StatesPerSec,
 		s.FrontierPeak, 100*s.DedupHitRate)
+	if s.Symmetry != "" && s.Symmetry != "none" {
+		fmt.Fprintf(&b, " symmetry=%s group=%d", s.Symmetry, s.GroupSize)
+	}
 	return b.String()
 }

@@ -22,7 +22,13 @@
 //     shared state only through the ops they offer;
 //   - reads of ghost identity fields (machine.StepInfo.Proc/ReadFrom/
 //     PrevWriter, anonmem.ReadResult.LastWriter,
-//     anonmem.WriteResult.PrevWriter) inside the type's methods.
+//     anonmem.WriteResult.PrevWriter) inside the type's methods;
+//   - calls from the type's methods into the canon package — the
+//     symmetry-reduction layer is the quotient map over processor and
+//     register identity, the one non-analysis package allowed to inspect
+//     it, and algorithm code calling into it would observe its own orbit
+//     (machines may *implement* canon's Symmetric/Relabelable
+//     interfaces; they must never *call* the package).
 //
 // Identity detection is name-based by design: an int parameter named p is
 // overwhelmingly a processor index in this codebase, and a false positive
@@ -36,6 +42,7 @@ import (
 	"regexp"
 
 	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
 
 	"anonshm/internal/lint/lintutil"
 )
@@ -47,9 +54,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: name,
 	Doc: "enforce the identical-program discipline on machine.Machine implementations\n\n" +
 		"Anonymous processors run identical code: a machine must not receive, store or branch " +
-		"on a processor index, hold a reference to the shared memory or system, or read ghost " +
-		"writer-identity fields. Identity enters only through the scheduler and the private " +
-		"wiring permutation, both outside the machine.",
+		"on a processor index, hold a reference to the shared memory or system, read ghost " +
+		"writer-identity fields, or call into the canon symmetry layer. Identity enters only " +
+		"through the scheduler and the private wiring permutation, both outside the machine.",
 	Run: run,
 }
 
@@ -212,10 +219,19 @@ func recvIsMachine(pass *analysis.Pass, machines map[*types.TypeName]bool, fd *a
 	return ok && machines[named.Obj()]
 }
 
-// checkMethodBody flags ghost writer-identity reads inside the methods
-// of a machine implementation.
+// checkMethodBody flags ghost writer-identity reads and calls into the
+// canon symmetry layer inside the methods of a machine implementation.
 func checkMethodBody(pass *analysis.Pass, rep *lintutil.Reporter, fd *ast.FuncDecl) {
 	ast.Inspect(fd, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := typeutil.Callee(pass.TypesInfo, call); callee != nil &&
+				lintutil.FromPackage(callee, "canon") {
+				rep.Reportf(call.Pos(),
+					"machine step logic calls into the canon symmetry layer (%s); canonicalization is the observer's quotient map and must stay outside algorithm code (PAPER.md §2)",
+					callee.Name())
+			}
+			return true
+		}
 		se, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true

@@ -5,6 +5,7 @@ package anonbad
 
 import (
 	"anonmem"
+	"canon"
 	"machine"
 )
 
@@ -32,6 +33,14 @@ func (l *Leaky) Advance(info machine.StepInfo) {
 
 func (l *Leaky) Observe(r anonmem.ReadResult) int {
 	return r.LastWriter // want `machine step logic reads ghost identity ReadResult\.LastWriter`
+}
+
+func (l *Leaky) Orbit() uint64 {
+	if canon.GroupSize() > 1 { // want `machine step logic calls into the canon symmetry layer \(GroupSize\)`
+		return 0
+	}
+	var h canon.Hasher
+	return h.Fingerprint(l.input) // want `machine step logic calls into the canon symmetry layer \(Fingerprint\)`
 }
 
 func (l *Leaky) Done() bool { return l.done }

@@ -2,6 +2,8 @@
 // non-machine type: neither produces findings.
 package anongood
 
+import "canon"
+
 // Scanner is identity-free: input value and local state only, exactly
 // what the identical-program discipline allows.
 type Scanner struct {
@@ -34,6 +36,11 @@ func (s *Scanner) Advance(vals []uint64) {
 
 func (s *Scanner) Done() bool { return s.done }
 
+// SymmetryClass implements the canon.Symmetric contract: machines may
+// describe themselves to the symmetry layer — they just must not call
+// into it.
+func (s *Scanner) SymmetryClass() string { return "scanner" }
+
 // Config is not machine-shaped, so its "id" field and constructor
 // parameter are not anonymity violations.
 type Config struct {
@@ -42,3 +49,7 @@ type Config struct {
 
 // NewConfig takes an id but builds no machine.
 func NewConfig(id int) Config { return Config{id: id} }
+
+// OrbitCount is observer-side analysis code, not a machine method:
+// calling the symmetry layer here is allowed.
+func OrbitCount() int { return canon.GroupSize() }

@@ -37,7 +37,7 @@ import (
 // analysis/observer layers that implement the paper's ghost-state
 // arguments and trace rendering.
 const DefaultAllow = "internal/anonmem,internal/machine,internal/runtime,internal/explore," +
-	"internal/sched,internal/trace,internal/lemmas,internal/stableview,cmd/figures"
+	"internal/sched,internal/trace,internal/lemmas,internal/stableview,internal/canon,cmd/figures"
 
 // omniscient is the set of anonmem.Memory methods that reveal global
 // register identity or ghost last-writer state.

@@ -137,6 +137,15 @@ func (r *Renaming) StateKey() string {
 	}
 }
 
+// SymmetryClass identifies the machine for the symmetry-reduction layer
+// (canon.Symmetric). The group identifier is part of the class: NameFor
+// ranks the own group within the snapshot, so the algorithm is NOT
+// oblivious to value identity and only equal-input processors may be
+// exchanged (no canon.Relabelable).
+func (r *Renaming) SymmetryClass() string {
+	return "rn:" + r.snap.SymmetryClass() + ":in" + strconv.Itoa(int(r.input))
+}
+
 // Config mirrors core.Config for building renaming systems.
 type Config = core.Config
 

@@ -190,6 +190,17 @@ func (v View) IDs() []ID {
 	return ids
 }
 
+// Relabel returns the image of v under f, which must be injective on the
+// members of v. The symmetry-reduction layer uses it to rewrite views
+// under a bijective renaming of input IDs.
+func (v View) Relabel(f func(ID) ID) View {
+	out := View{}
+	for _, id := range v.IDs() {
+		out = out.With(f(id))
+	}
+	return out
+}
+
 // Rank returns the 1-based position of id among the sorted members of v,
 // and whether id is a member at all. Rank is what the Bar-Noy–Dolev
 // renaming algorithm uses to pick a name inside a snapshot.
