@@ -26,10 +26,11 @@ test:
 # find something. internal/canon rides along because its hashers are
 # shared read-only across the parallel engine's workers, and the
 # symmetry-equivalence tests in internal/explore drive exactly that
-# sharing. -short skips the N=3 crash spaces, which the plain test
-# target still covers.
+# sharing; internal/store because its visited table and frontier are the
+# shared mutable state under those workers. -short skips the N=3 crash
+# spaces, which the plain test target still covers.
 race:
-	$(GO) test -race -short ./internal/explore/ ./internal/canon/ ./internal/sched/ ./internal/runtime/
+	$(GO) test -race -short ./internal/explore/ ./internal/canon/ ./internal/sched/ ./internal/runtime/ ./internal/store/
 
 # Extended tier-1 gate: what CI (and ROADMAP.md) require before merge.
 verify: build vet lint test race
@@ -43,8 +44,11 @@ bench:
 # The N=3 rows run the same-group system with deterministic write order —
 # the one N=3 snapshot space small enough to sweep untruncated (~72M
 # states, ~15 min total), so the reduction ratio is exact rather than an
-# artifact of per-wiring state caps. Render reports back with
-# `go run ./cmd/figures -load BENCH_dfs.json`.
+# artifact of per-wiring state caps. The store rows rerun the N=3
+# full-symmetry sweep through both state-store tiers — in-RAM and disk
+# under a 64MiB ceiling — so the out-of-core overhead and the
+# states-match-exactly property are pinned as artifacts. Render reports
+# back with `go run ./cmd/figures -load BENCH_dfs.json`.
 bench-report:
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine dfs -report BENCH_dfs.json
 	$(GO) run ./cmd/anonexplore -check safety -inputs a,b -engine bfs -report BENCH_bfs.json
@@ -56,3 +60,5 @@ bench-report:
 	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -symmetry none -report BENCH_sym_none_n3.json
 	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -wirings orbits -symmetry proc -report BENCH_sym_proc_n3.json
 	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -wirings orbits -symmetry full -report BENCH_sym_full_n3.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -wirings orbits -symmetry full -report BENCH_store_mem_n3.json
+	$(GO) run ./cmd/anonexplore -check safety -inputs g,g,g -nondet=false -engine dfs -wirings orbits -symmetry full -store disk -mem 64MiB -report BENCH_store_disk_n3.json

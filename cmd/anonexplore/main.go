@@ -20,6 +20,17 @@
 // the -solo-bound solo-step budget no matter which subset of the others
 // stops forever. -crashes N-1 covers every f-resilient adversary.
 //
+// Out-of-core exploration: -store disk bounds RAM use to -mem (e.g.
+// -mem 64MiB) by spilling visited fingerprints to sorted runs and
+// frontier overflow to path-replay segments under -store-dir (a temp
+// directory by default). -checkpoint DIR makes safety/waitfree sweeps
+// resumable: the sweep writes DIR/sweep.json after every wiring and a
+// periodic per-run checkpoint (cadence -checkpoint-every states) of the
+// wiring in flight; a first ^C checkpoints and stops cleanly, and
+// -resume DIR continues where it left off. Resumed runs cannot keep
+// counterexample traces (checkpoints do not persist parent logs), so
+// -resume reruns report the violation without a trace.
+//
 // Observability: results go to stdout; -progress diagnostics go to
 // stderr so piped output stays clean. -report FILE writes a JSON report
 // (check parameters, sweep totals, final metrics including states/sec),
@@ -33,6 +44,9 @@
 //	anonexplore -check safety   -inputs a,b -engine parallel -workers 4
 //	anonexplore -check safety   -inputs a,b -report r.json
 //	anonexplore -check safety   -inputs a,b,c -http :6060 -progress 1000000
+//	anonexplore -check safety   -inputs a,b,c -store disk -mem 64MiB
+//	anonexplore -check safety   -inputs a,b,c -checkpoint ck/   # ^C, then:
+//	anonexplore -check safety   -inputs a,b,c -checkpoint ck/ -resume ck/
 //	anonexplore -check waitfree -inputs a,b
 //	anonexplore -check waitfree -inputs a,b,c -crashes 2 -nondet=false
 //	anonexplore -check atomicity -inputs a,b      # proves atomicity at N=2
@@ -50,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -57,13 +72,16 @@ import (
 	"anonshm/internal/exitcode"
 	"anonshm/internal/explore"
 	"anonshm/internal/obs"
+	"anonshm/internal/store"
 )
 
 func main() {
 	var (
-		engine   explore.Engine
-		wirings  = explore.FilterProc0
-		symmetry canon.Symmetry
+		engine    explore.Engine
+		wirings   = explore.FilterProc0
+		symmetry  canon.Symmetry
+		storeKind store.Kind
+		memLimit  store.Bytes
 	)
 	var (
 		check      = flag.String("check", "safety", "check: safety | waitfree | atomicity | atomicity-random | consensus")
@@ -80,10 +98,16 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for atomicity-random")
 		reportPath = flag.String("report", "", "write a JSON metrics report to this file")
 		httpAddr   = flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run")
+		storeDir   = flag.String("store-dir", "", "disk store scratch directory (default: a temp directory per run)")
+		checkpoint = flag.String("checkpoint", "", "write periodic checkpoints to this directory; ^C stops cleanly after a final one")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in discovered states (0 = default)")
+		resume     = flag.String("resume", "", "resume a stopped sweep from this checkpoint directory")
 	)
 	flag.Var(&engine, "engine", "explorer engine: auto | bfs | dfs | parallel")
 	flag.Var(&wirings, "wirings", "wiring sweep filter: all | proc0 | orbits")
 	flag.Var(&symmetry, "symmetry", "state canonicalizer: none | proc | full")
+	flag.Var(&storeKind, "store", "state store tier: mem | disk")
+	flag.Var(&memLimit, "mem", "disk tier RAM ceiling, e.g. 64MiB, 2GiB (0 = 256MiB default)")
 	flag.Parse()
 	reg := obs.New()
 	if *httpAddr != "" {
@@ -100,6 +124,9 @@ func main() {
 		nondet: *nondet, wirings: wirings, symmetry: symmetry, level: *level,
 		maxStates: *maxStates, crashes: *crashes, soloBound: *soloBound,
 		maxTS: *maxTS, trials: *trials, seed: *seed,
+		store: storeKind, storeDir: *storeDir, memLimit: memLimit,
+		checkpoint: *checkpoint, ckptEvery: *ckptEvery, resume: *resume,
+		cancel: interruptChannel(),
 	}
 	rep := obs.NewReport("anonexplore", os.Args[1:])
 	runErr := run(cli, reg, rep)
@@ -121,21 +148,44 @@ func main() {
 }
 
 type options struct {
-	check     string
-	inputsCSV string
-	engine    explore.Engine
-	workers   int
-	progress  int
-	nondet    bool
-	wirings   explore.WiringFilter
-	symmetry  canon.Symmetry
-	level     int
-	maxStates int
-	crashes   int
-	soloBound int
-	maxTS     int
-	trials    int
-	seed      int64
+	check      string
+	inputsCSV  string
+	engine     explore.Engine
+	workers    int
+	progress   int
+	nondet     bool
+	wirings    explore.WiringFilter
+	symmetry   canon.Symmetry
+	level      int
+	maxStates  int
+	crashes    int
+	soloBound  int
+	maxTS      int
+	trials     int
+	seed       int64
+	store      store.Kind
+	storeDir   string
+	memLimit   store.Bytes
+	checkpoint string
+	ckptEvery  int
+	resume     string
+	cancel     <-chan struct{}
+}
+
+// interruptChannel maps the first SIGINT to a graceful stop (the sweeps
+// checkpoint and return ErrCanceled); a second SIGINT force-quits.
+func interruptChannel() <-chan struct{} {
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "anonexplore: interrupt — stopping at the next state (^C again to force quit)")
+		close(cancel)
+		<-sig
+		os.Exit(exitcode.Error)
+	}()
+	return cancel
 }
 
 // sweepSection is the machine-readable form of a wiring sweep for
@@ -155,10 +205,19 @@ type sweepSection struct {
 	StatesPerSec float64 `json:"statesPerSec"`
 	FrontierPeak int     `json:"frontierPeak"`
 	DedupHitRate float64 `json:"dedupHitRate"`
+	// Out-of-core fields, present when the disk store was in use.
+	Store          string `json:"store,omitempty"`
+	Spills         int64  `json:"spills,omitempty"`
+	Compactions    int64  `json:"compactions,omitempty"`
+	FrontierSpills int64  `json:"frontierSpills,omitempty"`
+	Replays        int64  `json:"replays,omitempty"`
+	ReplaySteps    int64  `json:"replaySteps,omitempty"`
+	DiskBytes      int64  `json:"diskBytes,omitempty"`
+	Checkpoints    int64  `json:"checkpoints,omitempty"`
 }
 
 func sectionOf(sweep explore.SweepResult) sweepSection {
-	return sweepSection{
+	s := sweepSection{
 		Wirings:      sweep.Wirings,
 		TotalStates:  sweep.TotalStates,
 		TotalEdges:   sweep.TotalEdges,
@@ -173,21 +232,43 @@ func sectionOf(sweep explore.SweepResult) sweepSection {
 		StatesPerSec: sweep.StatesPerSec(),
 		FrontierPeak: sweep.Stats.FrontierPeak,
 		DedupHitRate: sweep.Stats.DedupHitRate,
+		Checkpoints:  sweep.Stats.Store.Checkpoints,
 	}
+	if sweep.Stats.StoreKind == "disk" {
+		s.Store = sweep.Stats.StoreKind
+		s.Spills = sweep.Stats.Store.Spills
+		s.Compactions = sweep.Stats.Store.Compactions
+		s.FrontierSpills = sweep.Stats.Store.FrontierSpills
+		s.Replays = sweep.Stats.Store.Replays
+		s.ReplaySteps = sweep.Stats.Store.ReplaySteps
+		s.DiskBytes = sweep.Stats.Store.DiskBytesWritten
+	}
+	return s
 }
 
 func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 	inputs := strings.Split(cli.inputsCSV, ",")
 	rep.Section("check", map[string]any{
-		"check":    cli.check,
-		"inputs":   inputs,
-		"engine":   cli.engine.String(),
-		"workers":  cli.workers,
-		"nondet":   cli.nondet,
-		"wirings":  cli.wirings.String(),
-		"symmetry": cli.symmetry.String(),
-		"crashes":  cli.crashes,
+		"check":      cli.check,
+		"inputs":     inputs,
+		"engine":     cli.engine.String(),
+		"workers":    cli.workers,
+		"nondet":     cli.nondet,
+		"wirings":    cli.wirings.String(),
+		"symmetry":   cli.symmetry.String(),
+		"crashes":    cli.crashes,
+		"store":      cli.store.String(),
+		"mem":        cli.memLimit.String(),
+		"checkpoint": cli.checkpoint,
+		"resume":     cli.resume,
 	})
+	if cli.checkpoint != "" || cli.resume != "" {
+		switch cli.check {
+		case "safety", "waitfree":
+		default:
+			return fmt.Errorf("anonexplore: -checkpoint/-resume support only the safety and waitfree sweeps, not %q", cli.check)
+		}
+	}
 	cfg := explore.SnapshotConfig{
 		Inputs:     inputs,
 		Nondet:     cli.nondet,
@@ -201,6 +282,21 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		Engine:     cli.engine,
 		Workers:    cli.workers,
 		Obs:        reg,
+		Store:      cli.store,
+		StoreDir:   cli.storeDir,
+		MemLimit:   cli.memLimit,
+		Checkpoint: cli.checkpoint,
+		Resume:     cli.resume,
+		Cancel:     cli.cancel,
+	}
+	if cli.ckptEvery > 0 {
+		cfg.CheckpointEvery = cli.ckptEvery
+	}
+	if cli.resume != "" {
+		// Checkpoints do not persist parent logs, so a resumed run cannot
+		// keep counterexample traces.
+		cfg.Traces = false
+		fmt.Fprintln(os.Stderr, "anonexplore: resuming — counterexample traces disabled for this run")
 	}
 	if cli.progress > 0 {
 		cfg.ProgressEvery = cli.progress
@@ -212,6 +308,9 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		sweep, err := explore.CheckSnapshotSafety(cfg)
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
+		if errors.Is(err, explore.ErrCanceled) {
+			return canceledError(cli)
+		}
 		if err != nil {
 			return exitcode.Violated("snapshot safety", err)
 		}
@@ -224,6 +323,9 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		}
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
+		if errors.Is(err, explore.ErrCanceled) {
+			return canceledError(cli)
+		}
 		if err != nil {
 			return exitcode.Violated("wait-freedom", err)
 		}
@@ -277,9 +379,16 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 			Engine:       cli.engine,
 			Workers:      cli.workers,
 			Obs:          reg,
+			Store:        cli.store,
+			StoreDir:     cli.storeDir,
+			MemLimit:     cli.memLimit,
+			Cancel:       cli.cancel,
 		})
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
+		if errors.Is(err, explore.ErrCanceled) {
+			return canceledError(cli)
+		}
 		if err != nil {
 			return exitcode.Violated("consensus safety", err)
 		}
@@ -288,6 +397,15 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		return fmt.Errorf("unknown check %q", cli.check)
 	}
 	return nil
+}
+
+// canceledError renders a cancellation (first SIGINT) as an operational
+// error, not a violation: the run was cut short, nothing was refuted.
+func canceledError(cli options) error {
+	if cli.checkpoint != "" {
+		return fmt.Errorf("run canceled; checkpoint saved under %s — rerun with -resume %s to continue", cli.checkpoint, cli.checkpoint)
+	}
+	return fmt.Errorf("run canceled (no -checkpoint dir; progress was not saved)")
 }
 
 // progressPrinter returns the -progress callback. It writes to stderr —
@@ -309,6 +427,14 @@ func report(sweep explore.SweepResult, start time.Time) {
 		sweep.Stats.FrontierPeak, 100*sweep.Stats.DedupHitRate)
 	if sweep.Stats.Symmetry != "" && sweep.Stats.Symmetry != "none" {
 		fmt.Printf(" symmetry=%s group=%d", sweep.Stats.Symmetry, sweep.Stats.GroupSize)
+	}
+	if sweep.Stats.StoreKind == "disk" {
+		st := sweep.Stats.Store
+		fmt.Printf(" store=disk spills=%d compactions=%d replays=%d disk=%s",
+			st.Spills, st.Compactions, st.Replays, store.Bytes(st.DiskBytesWritten))
+	}
+	if sweep.Stats.Store.Checkpoints > 0 {
+		fmt.Printf(" checkpoints=%d", sweep.Stats.Store.Checkpoints)
 	}
 	fmt.Println()
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"anonshm/internal/obs"
+	"anonshm/internal/store"
 	"anonshm/internal/trace"
 )
 
@@ -55,9 +56,21 @@ func renderSection(v any) string {
 	sort.Strings(keys)
 	rows := make([][]string, 0, len(keys))
 	for _, k := range keys {
-		rows = append(rows, []string{k, compactJSON(m[k])})
+		rows = append(rows, []string{k, renderValue(k, m[k])})
 	}
 	return trace.Table([]string{"field", "value"}, rows)
+}
+
+// renderValue renders one section value. Byte-count fields written by
+// the out-of-core store (diskBytes) are humanized — "161MiB" reads,
+// 168821440 does not.
+func renderValue(key string, v any) string {
+	if key == "diskBytes" {
+		if f, ok := v.(float64); ok && f >= 0 && f == float64(int64(f)) {
+			return store.Bytes(f).String()
+		}
+	}
+	return compactJSON(v)
 }
 
 // metricsTable renders a metrics snapshot: name, labels, kind and value

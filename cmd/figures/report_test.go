@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderSectionStoreFields checks that an out-of-core sweep section
+// — as written by anonexplore -report after a -store disk run — renders
+// with its spill/compaction/checkpoint fields visible and the disk byte
+// count humanized.
+func TestRenderSectionStoreFields(t *testing.T) {
+	section := map[string]any{
+		"totalStates": float64(12011466),
+		"store":       "disk",
+		"spills":      float64(41),
+		"compactions": float64(5),
+		"replays":     float64(9),
+		"checkpoints": float64(12),
+		"diskBytes":   float64(168 << 20),
+	}
+	out := renderSection(section)
+	for _, want := range []string{"store", "disk", "spills", "41", "compactions", "5", "replays", "9", "checkpoints", "12", "168MiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered section missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "176160768") {
+		t.Errorf("diskBytes rendered raw instead of humanized:\n%s", out)
+	}
+}
+
+// TestRenderValuePassthrough pins that only diskBytes is humanized;
+// ordinary numeric fields keep their exact JSON form.
+func TestRenderValuePassthrough(t *testing.T) {
+	if got := renderValue("totalStates", float64(1048576)); got != "1048576" {
+		t.Errorf("totalStates rendered %q, want raw 1048576", got)
+	}
+	if got := renderValue("diskBytes", float64(1048576)); got != "1MiB" {
+		t.Errorf("diskBytes rendered %q, want 1MiB", got)
+	}
+}

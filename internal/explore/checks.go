@@ -9,6 +9,7 @@ import (
 	"anonshm/internal/core"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/store"
 	"anonshm/internal/view"
 )
 
@@ -116,6 +117,32 @@ type SnapshotConfig struct {
 	// Events, when set, receives engine.start/engine.finish events for
 	// every per-wiring run.
 	Events *obs.Sink
+	// Store selects the state-store tier for every per-wiring run:
+	// store.Mem (default, everything in RAM) or store.Disk (bounded hot
+	// set, overflow spilled to sorted runs; see Options.Store).
+	Store store.Kind
+	// StoreDir is the scratch directory of the disk tier (disk tier only;
+	// "" = a temporary directory per run).
+	StoreDir string
+	// MemLimit is the disk tier's in-RAM ceiling (0 = store.DefaultMemLimit).
+	MemLimit store.Bytes
+	// Checkpoint, when non-empty, makes the sweep resumable: the directory
+	// gains a sweep.json (completed-wiring count plus accumulated totals,
+	// rewritten after every wiring) and a run/ subdirectory holding the
+	// periodic per-run checkpoint of the wiring in flight.
+	Checkpoint string
+	// CheckpointEvery is the per-run checkpoint cadence in discovered
+	// states (0 = DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Resume restarts a sweep from a Checkpoint directory: completed
+	// wirings are skipped, the in-flight one resumes mid-run, and
+	// accumulation continues into the restored totals. The sweep identity
+	// (check, engine, symmetry, inputs, nondet, crashes) must match or the
+	// load fails with a *CheckpointMismatchError.
+	Resume string
+	// Cancel, when closed, stops the sweep at the next state boundary with
+	// ErrCanceled (after a final checkpoint when Checkpoint is set).
+	Cancel <-chan struct{}
 }
 
 // engine resolves the configured engine, defaulting to DFS.
@@ -139,6 +166,10 @@ func (c SnapshotConfig) options() Options {
 		ProgressEvery: c.ProgressEvery,
 		Obs:           c.Obs,
 		Events:        c.Events,
+		Store:         c.Store,
+		StoreDir:      c.StoreDir,
+		MemLimit:      c.MemLimit,
+		Cancel:        c.Cancel,
 	}
 }
 
@@ -165,20 +196,17 @@ func (c SnapshotConfig) system(perms [][]int) (*machine.System, []view.ID, error
 
 // CheckSnapshotSafety exhaustively verifies the snapshot-task outputs over
 // every wiring assignment. It returns the first violation as an
-// *InvariantError.
+// *InvariantError. With Checkpoint/Resume set the sweep is resumable
+// across process restarts (see runSweep).
 func CheckSnapshotSafety(c SnapshotConfig) (SweepResult, error) {
 	var sweep SweepResult
-	n := len(c.Inputs)
-	err := forEachWiring(n, registersFor(c), WiringOptions{Filter: c.Wirings}, func(perms [][]int) error {
+	err := c.runSweep("safety", &sweep, func(perms [][]int, opts Options) (Result, error) {
 		sys, ids, err := c.system(perms)
 		if err != nil {
-			return err
+			return Result{}, err
 		}
-		opts := c.options()
 		opts.Invariant = SnapshotInvariant(ids)
-		res, err := Run(sys, opts)
-		sweep.accumulate(res)
-		return err
+		return Run(sys, opts)
 	})
 	return sweep, err
 }
@@ -192,7 +220,11 @@ func CheckSnapshotSafety(c SnapshotConfig) (SweepResult, error) {
 // Engines with cycle capabilities (DFSEngine inline, BFSEngine via the
 // step graph) additionally verify the reachable step graph is acyclic, the
 // stronger guarantee that no adversarial interleaving runs forever;
-// ParallelEngine runs the invariant form only.
+// ParallelEngine runs the invariant form only. So does BFSEngine on the
+// disk store or under checkpointing: the step graph pins every state in
+// RAM and has no serialized form, which is exactly what those modes
+// exist to avoid (DFS cycle detection is unaffected — it rides the
+// recursion stack, which checkpoints carry).
 func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
 	var sweep SweepResult
 	caps := c.engine().Capabilities()
@@ -200,31 +232,30 @@ func CheckSnapshotWaitFree(c SnapshotConfig) (SweepResult, error) {
 	if bound <= 0 {
 		bound = DefaultSoloBound(len(c.Inputs), registersFor(c))
 	}
-	n := len(c.Inputs)
-	err := forEachWiring(n, registersFor(c), WiringOptions{Filter: c.Wirings}, func(perms [][]int) error {
+	trackGraph := caps.TrackGraph && !caps.CycleDetect &&
+		c.Store != store.Disk && c.Checkpoint == "" && c.Resume == ""
+	err := c.runSweep("waitfree", &sweep, func(perms [][]int, opts Options) (Result, error) {
 		sys, _, err := c.system(perms)
 		if err != nil {
-			return err
+			return Result{}, err
 		}
-		opts := c.options()
 		opts.Invariant = WaitFree(bound)
-		opts.TrackGraph = caps.TrackGraph && !caps.CycleDetect
+		opts.TrackGraph = trackGraph
 		res, err := Run(sys, opts)
-		sweep.accumulate(res)
 		if err != nil {
-			return err
+			return res, err
 		}
 		if res.Truncated {
-			return fmt.Errorf("explore: truncated at %d states; wait-freedom not established", res.States)
+			return res, fmt.Errorf("explore: truncated at %d states; wait-freedom not established", res.States)
 		}
 		cycle := res.Cycle
 		if opts.TrackGraph {
 			_, cycle = res.Graph.FindCycle()
 		}
 		if cycle {
-			return fmt.Errorf("explore: wait-freedom violated under wiring %v: %s", perms, FormatTrace(res.CycleTrace))
+			return res, fmt.Errorf("explore: wait-freedom violated under wiring %v: %s", perms, FormatTrace(res.CycleTrace))
 		}
-		return nil
+		return res, nil
 	})
 	return sweep, err
 }
@@ -453,6 +484,13 @@ type ConsensusConfig struct {
 	Obs *obs.Registry
 	// Events, when set, receives engine.start/engine.finish events.
 	Events *obs.Sink
+	// Store, StoreDir, and MemLimit select the state-store tier of every
+	// per-wiring run (see SnapshotConfig).
+	Store    store.Kind
+	StoreDir string
+	MemLimit store.Bytes
+	// Cancel, when closed, stops the sweep with ErrCanceled.
+	Cancel <-chan struct{}
 }
 
 // CheckConsensusBounded explores the Figure 5 consensus algorithm up to a
@@ -515,6 +553,10 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 			Prune:         prune,
 			Obs:           c.Obs,
 			Events:        c.Events,
+			Store:         c.Store,
+			StoreDir:      c.StoreDir,
+			MemLimit:      c.MemLimit,
+			Cancel:        c.Cancel,
 		})
 		sweep.accumulate(res)
 		return err

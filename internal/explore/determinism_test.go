@@ -46,13 +46,10 @@ func TestRunDeterminism(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%v run %d: %v", engine, run, err)
 					}
+					// MaxDepth is a hard assertion on every engine:
+					// ParallelEngine min-merges racing discovery depths and
+					// reads the exact BFS eccentricity off the visited set.
 					k := keyOf(res)
-					if engine == ParallelEngine {
-						// First-discovery depth races between workers;
-						// ParallelEngine's MaxDepth is documented as an
-						// upper bound, not a reproducible value.
-						k.maxDepth = 0
-					}
 					if run == 0 {
 						ref = k
 						continue

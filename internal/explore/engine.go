@@ -2,10 +2,12 @@ package explore
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"anonshm/internal/canon"
 	"anonshm/internal/machine"
+	"anonshm/internal/store"
 )
 
 // Engine selects the search backend used by Run. Engines share the state,
@@ -110,16 +112,24 @@ func (e Engine) Capabilities() Capabilities {
 }
 
 // UnsupportedOptionError reports an Options feature the selected engine
-// cannot provide.
+// or storage tier cannot provide. Exactly one of Engine/Store identifies
+// the rejecting side: Store is non-empty ("mem", "disk") when the
+// storage tier, not the engine, is what cannot honor the option.
 type UnsupportedOptionError struct {
 	Engine Engine
+	Store  string
 	Option string
 	Hint   string
 }
 
 // Error implements error.
 func (e *UnsupportedOptionError) Error() string {
-	msg := fmt.Sprintf("explore: engine %s does not support %s", e.Engine, e.Option)
+	var msg string
+	if e.Store != "" {
+		msg = fmt.Sprintf("explore: store %s does not support %s", e.Store, e.Option)
+	} else {
+		msg = fmt.Sprintf("explore: engine %s does not support %s", e.Engine, e.Option)
+	}
 	if e.Hint != "" {
 		msg += " (" + e.Hint + ")"
 	}
@@ -127,20 +137,16 @@ func (e *UnsupportedOptionError) Error() string {
 }
 
 // Run is the single entry point for exhaustive exploration: it validates
-// opts against the selected engine's capabilities, dispatches, and fills
-// Result.Stats. AutoEngine resolves to BFSEngine.
+// opts against the selected engine's capabilities and storage tier,
+// binds the store (visited set, frontier factory, checkpoint trigger),
+// dispatches, and fills Result.Stats. AutoEngine resolves to BFSEngine.
 func Run(init *machine.System, opts Options) (Result, error) {
 	engine := opts.Engine
 	if engine == AutoEngine {
 		engine = BFSEngine
 	}
-	caps := engine.Capabilities()
-	if opts.TrackGraph && !caps.TrackGraph {
-		hint := "use BFSEngine"
-		if engine == DFSEngine {
-			hint = "DFS detects cycles inline (Result.Cycle); use BFSEngine for the full graph"
-		}
-		return Result{}, &UnsupportedOptionError{Engine: engine, Option: "TrackGraph", Hint: hint}
+	if err := validateOptions(engine, &opts); err != nil {
+		return Result{}, err
 	}
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
@@ -154,6 +160,82 @@ func Run(init *machine.System, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("explore: %w", err)
 	}
 	opts.hasher = hasher
+
+	// Resolve the worker count up front: the store splits its frontier
+	// memory budget per worker, and node ids pack the worker index.
+	nw := 1
+	if engine == ParallelEngine {
+		nw = opts.Workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		if nw > maxParallelWorkers {
+			nw = maxParallelWorkers
+		}
+	}
+	opts.Workers = nw
+
+	// The checkpoint identity: which run a checkpoint belongs to. The
+	// root fingerprint pins the system and its canonicalization.
+	var initFP string
+	if opts.Checkpoint != "" || opts.Resume != "" {
+		initFP = fmt.Sprintf("%016x", hasher.Fingerprint(init.Clone(), opts.InitAux))
+	}
+	if opts.Resume != "" {
+		ck, err := store.LoadCheckpoint(opts.Resume)
+		if err != nil {
+			return Result{}, fmt.Errorf("explore: %w", err)
+		}
+		if err := validateResume(ck, engine, canonicalizer.String(), initFP, opts.MaxCrashes); err != nil {
+			return Result{}, err
+		}
+		opts.resume = ck
+	}
+
+	st, err := store.Open(store.Config{
+		Kind:     opts.Store,
+		Dir:      opts.StoreDir,
+		MemLimit: opts.MemLimit,
+		Root:     init,
+		Workers:  nw,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("explore: %w", err)
+	}
+	defer st.Close()
+	visited, err := st.NewVisited(engine == ParallelEngine)
+	if err != nil {
+		return Result{}, fmt.Errorf("explore: %w", err)
+	}
+	defer visited.Close()
+	if opts.resume != nil {
+		if err := opts.resume.LoadVisited(visited); err != nil {
+			return Result{}, fmt.Errorf("explore: resume: %w", err)
+		}
+	}
+	opts.st = st
+	opts.visited = visited
+	if opts.Checkpoint != "" {
+		every := opts.CheckpointEvery
+		if every <= 0 {
+			every = DefaultCheckpointEvery
+		}
+		opts.ckpt = &ckptState{
+			dir:   opts.Checkpoint,
+			every: int64(every),
+			st:    st,
+			meta: store.Meta{
+				Engine:     engine.String(),
+				Symmetry:   canonicalizer.String(),
+				InitFP:     initFP,
+				MaxCrashes: opts.MaxCrashes,
+			},
+		}
+		if opts.resume != nil {
+			opts.ckpt.last = opts.resume.Meta.States
+		}
+	}
+
 	opts = hookObsProgress(opts)
 	emitEngineStart(opts.Events, engine, opts.Workers)
 
@@ -176,6 +258,8 @@ func Run(init *machine.System, opts Options) (Result, error) {
 	}
 	res.Stats.Symmetry = canonicalizer.String()
 	res.Stats.GroupSize = hasher.GroupSize()
+	res.Stats.Store = st.Snapshot()
+	res.Stats.StoreKind = st.Kind().String()
 	res.Stats.finalize(time.Since(start), res.States)
 	publishStats(opts.Obs, res)
 	emitEngineFinish(opts.Events, res, err)

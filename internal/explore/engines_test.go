@@ -8,6 +8,7 @@ import (
 
 	"anonshm/internal/core"
 	"anonshm/internal/machine"
+	"anonshm/internal/store"
 )
 
 // engineCase is one system the engine-equivalence tests run on, with the
@@ -403,11 +404,20 @@ func TestChecksAcceptEngines(t *testing.T) {
 	}
 }
 
-// TestFPTable exercises the sharded fingerprint table directly, including
-// growth well past the initial capacity and the zero-fingerprint
-// substitution.
+// TestFPTable exercises the parallel engine's visited set through the
+// store layer, including growth well past the initial capacity, the
+// zero-fingerprint substitution and depth min-merging.
 func TestFPTable(t *testing.T) {
-	tbl := newFPTable(4)
+	st, err := store.Open(store.Config{Kind: store.Mem, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tbl, err := st.NewVisited(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
 	const n = 100_000
 	rng := uint64(0x243f6a8885a308d3)
 	fps := make([]uint64, n)
@@ -418,19 +428,29 @@ func TestFPTable(t *testing.T) {
 		fps[i] = rng
 	}
 	for _, fp := range fps {
-		if !tbl.insert(fp) {
+		if fresh, _, _ := tbl.Insert(fp, 3); !fresh {
 			t.Fatalf("fresh fingerprint %#x reported as duplicate", fp)
 		}
 	}
 	for _, fp := range fps {
-		if tbl.insert(fp) {
+		fresh, improved, _ := tbl.Insert(fp, 3)
+		if fresh {
 			t.Fatalf("known fingerprint %#x reported as fresh", fp)
 		}
+		if improved {
+			t.Fatalf("equal depth reported as improvement for %#x", fp)
+		}
 	}
-	if !tbl.insert(0) {
+	if fresh, _, _ := tbl.Insert(0, 5); !fresh {
 		t.Error("zero fingerprint not inserted")
 	}
-	if tbl.insert(0) {
-		t.Error("zero fingerprint not deduplicated")
+	if fresh, improved, _ := tbl.Insert(0, 2); fresh || !improved {
+		t.Errorf("zero fingerprint re-insert: fresh=%v improved=%v, want dup+improved", fresh, improved)
+	}
+	if got := tbl.Len(); got != int64(n+1) {
+		t.Fatalf("Len() = %d, want %d", got, n+1)
+	}
+	if got := tbl.MaxDepth(); got != 3 {
+		t.Fatalf("MaxDepth() = %d, want 3", got)
 	}
 }

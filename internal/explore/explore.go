@@ -35,15 +35,26 @@
 // Picking an engine:
 //
 //	engine          memory                      speed            graph  cycles  traces
-//	BFSEngine       queue + fp set (+ graph)    single-threaded  yes    via graph  yes (shortest)
-//	DFSEngine       stack + color map (least)   single-threaded  no     inline     yes
-//	ParallelEngine  sharded fp table + deques   scales w/Workers no     no         yes
+//	BFSEngine       frontier + fp set (+ graph) single-threaded  yes    via graph  yes (shortest)
+//	DFSEngine       stack + fp set (least)      single-threaded  no     inline     yes
+//	ParallelEngine  sharded fp set + frontiers  scales w/Workers no     no         yes
 //
 // AutoEngine (the zero value) resolves to BFSEngine in Run; the sweep
 // helpers in checks.go resolve it to DFSEngine to preserve their
 // historical memory profile. Requesting a capability an engine lacks
 // (e.g. Options.TrackGraph with ParallelEngine) returns an
 // *UnsupportedOptionError naming the engines that support it.
+//
+// Storage tiers. Every engine's visited set and frontier come from the
+// internal/store layer: Options.Store selects the fully-in-RAM mem tier
+// (the default, bit-identical to the historical behaviour) or the
+// out-of-core disk tier, which bounds RAM by Options.MemLimit and spills
+// sorted fingerprint runs and delta-encoded frontier path segments to
+// Options.StoreDir. State counts, verdicts and counterexamples are
+// identical across tiers. Options.Checkpoint periodically snapshots a
+// run into a directory that a later Run can continue from with
+// Options.Resume; Options.Cancel aborts a run (writing a final
+// checkpoint) with ErrCanceled.
 package explore
 
 import (
@@ -53,6 +64,7 @@ import (
 	"anonshm/internal/canon"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/store"
 )
 
 // Node is a discovered state plus its auxiliary value.
@@ -126,6 +138,41 @@ type Options struct {
 	// Events, when set, receives engine.start/engine.finish JSONL events
 	// describing the run.
 	Events *obs.Sink
+	// Store selects the state-storage tier: store.Mem (the default)
+	// keeps the visited set and frontier fully in RAM; store.Disk bounds
+	// RAM by MemLimit and spills fingerprint runs and frontier path
+	// segments to StoreDir. All engines run on either tier with
+	// identical state counts and verdicts (TrackGraph is mem-only).
+	Store store.Kind
+	// StoreDir is the disk tier's scratch directory ("" = a fresh temp
+	// directory, removed when the run ends). Mem rejects it.
+	StoreDir string
+	// MemLimit is the disk tier's RAM ceiling (0 = store.DefaultMemLimit).
+	// Mem rejects it: the in-RAM store has no spill ceiling.
+	MemLimit store.Bytes
+	// Checkpoint, when non-empty, names a directory the engine
+	// atomically re-snapshots every CheckpointEvery discovered states
+	// (and on cancellation), for Resume. Incompatible with TrackGraph.
+	Checkpoint      string
+	CheckpointEvery int
+	// Resume, when non-empty, loads a checkpoint directory written by a
+	// previous run and continues it; the engine, symmetry, system and
+	// crash budget must match what the checkpoint records
+	// (*CheckpointMismatchError otherwise). Incompatible with Traces and
+	// TrackGraph — counterexample structure is not persisted.
+	Resume string
+	// Cancel, when non-nil, aborts the search once closed: the engine
+	// writes a final checkpoint (if Checkpoint is set) and returns
+	// partial results with ErrCanceled.
+	Cancel <-chan struct{}
+
+	// hasher is the canonicalizer bound to the initial system; st,
+	// visited, resume and ckpt are the storage layer Run binds before
+	// dispatching to an engine.
+	st      *store.Store
+	visited store.VisitedSet
+	resume  *store.Checkpoint
+	ckpt    *ckptState
 }
 
 // DefaultMaxStates bounds explorations unless overridden.
@@ -136,12 +183,15 @@ type Result struct {
 	States    int
 	Edges     int
 	Terminals int // states where every machine has terminated
-	// MaxDepth is the largest first-discovery depth. Serial engines
-	// discover in a fixed order, making it reproducible; ParallelEngine
-	// records the depth at which a racing worker happens to reach a state
-	// first, so its MaxDepth is an upper bound on the BFS eccentricity
-	// that may vary between runs. States, Edges and Terminals are exact
-	// and reproducible on every engine.
+	// MaxDepth is the largest first-discovery depth. On the BFS-family
+	// engines (BFSEngine, ParallelEngine) it is the exact BFS
+	// eccentricity of the state graph: ParallelEngine min-merges the
+	// depths of racing discoveries in its visited set and propagates
+	// improvements with relax re-expansions, so the value is
+	// deterministic and equal to the serial BFS one. DFSEngine reports
+	// its (deterministic) depth-first discovery depth, which is an upper
+	// bound. States, Edges and Terminals are exact and reproducible on
+	// every engine.
 	MaxDepth  int
 	Truncated bool
 	Pruned    int // states whose successors were cut by Options.Prune
@@ -182,36 +232,47 @@ type StateGraph struct {
 	terminal []bool
 }
 
-// queueEntry is a frontier state awaiting expansion. Sys is released once
-// the state has been expanded.
-type queueEntry struct {
-	sys   *machine.System
-	aux   uint64
-	depth int32
-}
-
-// runBFS is the serial breadth-first engine behind Run.
+// runBFS is the serial breadth-first engine behind Run. The frontier and
+// visited set come from the store layer Run bound into opts: on the mem
+// tier the discovery order, fingerprints and every counter are
+// bit-identical to the historical in-RAM queue (ids are assigned in the
+// same 0,1,2,... order, FrontierPeak is measured at the same point, and
+// the MaxStates bound cuts at the same expansion); on the disk tier the
+// frontier spills by path and the engine replays popped entries whose
+// systems were dropped.
 func runBFS(init *machine.System, opts Options) (Result, error) {
 	maxStates := opts.MaxStates
 	var res Result
-	seen := make(map[uint64]int32)
-	var queue []queueEntry
+	visited := opts.visited
+	fr, err := opts.st.NewFrontier(0, store.FIFO)
+	if err != nil {
+		return res, fmt.Errorf("explore: %w", err)
+	}
+	defer fr.Close()
 	var parent []int32
 	var how []machine.StepInfo
 	var graph *StateGraph
+	var ids store.IDSet
 	if opts.TrackGraph {
+		var ok bool
+		if ids, ok = visited.(store.IDSet); !ok {
+			return res, fmt.Errorf("explore: internal: %s store cannot assign state ids", opts.st.Kind())
+		}
 		graph = &StateGraph{}
 		res.Graph = graph
 	}
+	// Entries need paths when the frontier may spill them (disk tier) or
+	// when checkpoints must persist them.
+	needPath := fr.NeedsPath() || opts.ckpt != nil
 
-	traceTo := func(i int32) []machine.StepInfo {
+	traceTo := func(i int64) []machine.StepInfo {
 		if !opts.Traces {
 			return nil
 		}
 		var rev []machine.StepInfo
 		for i > 0 {
 			rev = append(rev, how[i])
-			i = parent[i]
+			i = int64(parent[i])
 		}
 		out := make([]machine.StepInfo, len(rev))
 		for j := range rev {
@@ -220,18 +281,33 @@ func runBFS(init *machine.System, opts Options) (Result, error) {
 		return out
 	}
 
-	add := func(sys *machine.System, aux uint64, depth int32, from int32, info machine.StepInfo) (int32, error) {
+	states := int64(0)   // distinct states discovered (dense id source)
+	expanded := int64(0) // frontier entries popped
+
+	add := func(sys *machine.System, aux uint64, depth int32, from int64, info machine.StepInfo, path *store.PathNode) (int64, error) {
 		fp := opts.hasher.Fingerprint(sys, aux)
 		res.Stats.DedupLookups++
-		if id, ok := seen[fp]; ok {
+		var id int64
+		var fresh bool
+		if ids != nil {
+			id, fresh = ids.InsertID(fp, depth)
+		} else {
+			f, _, err := visited.Insert(fp, depth)
+			if err != nil {
+				return 0, fmt.Errorf("explore: %w", err)
+			}
+			fresh, id = f, states
+		}
+		if !fresh {
 			res.Stats.DedupHits++
 			return id, nil
 		}
-		id := int32(len(queue))
-		seen[fp] = id
-		queue = append(queue, queueEntry{sys: sys, aux: aux, depth: depth})
+		states++
+		if err := fr.Push(store.Entry{Sys: sys, Aux: aux, Depth: depth, Tag: id, Path: path}); err != nil {
+			return id, fmt.Errorf("explore: %w", err)
+		}
 		if opts.Traces {
-			parent = append(parent, from)
+			parent = append(parent, int32(from))
 			how = append(how, info)
 		}
 		if graph != nil {
@@ -249,40 +325,111 @@ func runBFS(init *machine.System, opts Options) (Result, error) {
 				return id, &InvariantError{Err: err, Trace: traceTo(id)}
 			}
 		}
-		if opts.Progress != nil && opts.ProgressEvery > 0 && len(queue)%opts.ProgressEvery == 0 {
-			opts.Progress(len(queue), res.Edges)
+		if opts.Progress != nil && opts.ProgressEvery > 0 && states%int64(opts.ProgressEvery) == 0 {
+			opts.Progress(int(states), res.Edges)
 		}
 		return id, nil
 	}
 
-	expanded := int64(0)
 	finish := func() Result {
-		res.States = len(queue)
-		s := float64(res.States)
+		res.States = int(states)
+		s := float64(states)
 		res.CollisionOdds = s * s / (2.0 * (1 << 63) * 2.0)
 		res.Stats.WorkerSteps = []int64{expanded}
 		return res
 	}
 
-	if _, err := add(init.Clone(), opts.InitAux, 0, -1, machine.StepInfo{}); err != nil {
-		return finish(), err
+	writeCkpt := func() error {
+		snap := make([]store.Entry, 0, fr.Len())
+		if err := fr.Snapshot(func(e store.Entry) error {
+			snap = append(snap, e)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("explore: checkpoint: %w", err)
+		}
+		meta := store.Meta{
+			States: states, Edges: int64(res.Edges),
+			Terminals: int64(res.Terminals), Pruned: int64(res.Pruned),
+			MaxDepth:     int32(res.MaxDepth),
+			DedupLookups: res.Stats.DedupLookups, DedupHits: res.Stats.DedupHits,
+			FrontierPeak: res.Stats.FrontierPeak,
+			WorkerSteps:  []int64{expanded},
+		}
+		if err := opts.ckpt.write(meta, visited, snap, states); err != nil {
+			return fmt.Errorf("explore: checkpoint: %w", err)
+		}
+		return nil
 	}
-	res.Stats.FrontierPeak = 1
 
-	for head := int32(0); head < int32(len(queue)); head++ {
-		if frontier := len(queue) - int(head); frontier > res.Stats.FrontierPeak {
-			res.Stats.FrontierPeak = frontier
+	if opts.resume != nil {
+		m := opts.resume.Meta
+		states = m.States
+		expanded = 0
+		if len(m.WorkerSteps) > 0 {
+			expanded = m.WorkerSteps[0]
+		}
+		res.Edges = int(m.Edges)
+		res.Terminals = int(m.Terminals)
+		res.Pruned = int(m.Pruned)
+		res.MaxDepth = int(m.MaxDepth)
+		res.Stats.DedupLookups = m.DedupLookups
+		res.Stats.DedupHits = m.DedupHits
+		res.Stats.FrontierPeak = m.FrontierPeak
+		entries, err := opts.resume.Frontier()
+		if err != nil {
+			return finish(), fmt.Errorf("explore: resume: %w", err)
+		}
+		for _, e := range entries {
+			if err := fr.Push(e); err != nil {
+				return finish(), fmt.Errorf("explore: resume: %w", err)
+			}
+		}
+	} else {
+		if _, err := add(init.Clone(), opts.InitAux, 0, -1, machine.StepInfo{}, nil); err != nil {
+			return finish(), err
+		}
+		res.Stats.FrontierPeak = 1
+	}
+
+	for {
+		if opts.ckpt.due(states) {
+			if err := writeCkpt(); err != nil {
+				return finish(), err
+			}
+		}
+		if canceled(&opts) {
+			if opts.ckpt != nil {
+				if err := writeCkpt(); err != nil {
+					return finish(), err
+				}
+			}
+			return finish(), ErrCanceled
+		}
+		if n := fr.Len(); n > res.Stats.FrontierPeak {
+			res.Stats.FrontierPeak = n
+		}
+		e, ok, err := fr.Pop()
+		if err != nil {
+			return finish(), fmt.Errorf("explore: %w", err)
+		}
+		if !ok {
+			break
 		}
 		expanded++
-		cur := &queue[head]
-		sys := cur.sys
-		if len(queue) > maxStates {
+		if states > int64(maxStates) {
 			res.Truncated = true
 			break
 		}
-		if opts.Prune != nil && opts.Prune(Node{Sys: sys, Aux: cur.aux, Depth: int(cur.depth)}) {
+		// Entries restored from a checkpoint into the mem tier carry only
+		// their path; the disk tier replays inside Pop.
+		if e.Sys == nil {
+			if err := opts.st.Replay(&e); err != nil {
+				return finish(), fmt.Errorf("explore: %w", err)
+			}
+		}
+		sys := e.Sys
+		if opts.Prune != nil && opts.Prune(Node{Sys: sys, Aux: e.Aux, Depth: int(e.Depth)}) {
 			res.Pruned++
-			cur.sys = nil
 			continue
 		}
 		for p := 0; p < sys.N(); p++ {
@@ -296,20 +443,22 @@ func runBFS(init *machine.System, opts Options) (Result, error) {
 				if err != nil {
 					return finish(), fmt.Errorf("explore: %w", err)
 				}
-				aux := cur.aux
+				aux := e.Aux
 				if opts.Aux != nil {
 					aux = opts.Aux(aux, info, succ)
 				}
-				id, err := add(succ, aux, cur.depth+1, head, info)
+				var path *store.PathNode
+				if needPath {
+					path = e.Path.Extend(packStepInfo(info))
+				}
+				id, err := add(succ, aux, e.Depth+1, e.Tag, info, path)
 				if err != nil {
 					return finish(), err
 				}
 				res.Edges++
 				if graph != nil {
-					graph.adj[head] = append(graph.adj[head], id)
+					graph.adj[e.Tag] = append(graph.adj[e.Tag], int32(id))
 				}
-				cur = &queue[head] // queue may have been reallocated by add
-				sys = cur.sys
 			}
 		}
 		if opts.MaxCrashes > 0 && sys.CrashCount() < opts.MaxCrashes {
@@ -322,23 +471,24 @@ func runBFS(init *machine.System, opts Options) (Result, error) {
 				if err != nil {
 					return finish(), fmt.Errorf("explore: %w", err)
 				}
-				aux := cur.aux
+				aux := e.Aux
 				if opts.Aux != nil {
 					aux = opts.Aux(aux, info, succ)
 				}
-				id, err := add(succ, aux, cur.depth+1, head, info)
+				var path *store.PathNode
+				if needPath {
+					path = e.Path.Extend(packStepInfo(info))
+				}
+				id, err := add(succ, aux, e.Depth+1, e.Tag, info, path)
 				if err != nil {
 					return finish(), err
 				}
 				res.Edges++
 				if graph != nil {
-					graph.adj[head] = append(graph.adj[head], id)
+					graph.adj[e.Tag] = append(graph.adj[e.Tag], int32(id))
 				}
-				cur = &queue[head]
-				sys = cur.sys
 			}
 		}
-		cur.sys = nil // release the expanded state's memory
 	}
 	return finish(), nil
 }

@@ -186,10 +186,10 @@ func TestBFSAndDFSAgreeOnSnapshotN2(t *testing.T) {
 
 func TestSnapshotSafetyN2AllWirings(t *testing.T) {
 	sweep, err := CheckSnapshotSafety(SnapshotConfig{
-		Inputs:    []string{"a", "b"},
-		Nondet:    true,
-		Wirings:   FilterProc0,
-		Traces:    true,
+		Inputs:  []string{"a", "b"},
+		Nondet:  true,
+		Wirings: FilterProc0,
+		Traces:  true,
 	})
 	if err != nil {
 		t.Fatalf("safety violated: %v", err)
@@ -205,9 +205,9 @@ func TestSnapshotSafetyN2AllWirings(t *testing.T) {
 func TestSnapshotSafetyN2Groups(t *testing.T) {
 	// Two processors in the same group (equal inputs).
 	if _, err := CheckSnapshotSafety(SnapshotConfig{
-		Inputs:    []string{"g", "g"},
-		Nondet:    true,
-		Wirings:   FilterProc0,
+		Inputs:  []string{"g", "g"},
+		Nondet:  true,
+		Wirings: FilterProc0,
 	}); err != nil {
 		t.Fatalf("safety violated: %v", err)
 	}
@@ -215,10 +215,10 @@ func TestSnapshotSafetyN2Groups(t *testing.T) {
 
 func TestSnapshotWaitFreeN2AllWirings(t *testing.T) {
 	sweep, err := CheckSnapshotWaitFree(SnapshotConfig{
-		Inputs:    []string{"a", "b"},
-		Nondet:    true,
-		Wirings:   FilterProc0,
-		Traces:    true,
+		Inputs:  []string{"a", "b"},
+		Nondet:  true,
+		Wirings: FilterProc0,
+		Traces:  true,
 	})
 	if err != nil {
 		t.Fatalf("wait-freedom violated: %v", err)
@@ -232,18 +232,18 @@ func TestSnapshotWaitFreeN2AllWirings(t *testing.T) {
 // terminating at level N−1 = 1 is still safe (exhaustively, all wirings).
 func TestFootnote4LevelN1SufficesAtN2(t *testing.T) {
 	if _, err := CheckSnapshotSafety(SnapshotConfig{
-		Inputs:    []string{"a", "b"},
-		Level:     1,
-		Nondet:    true,
-		Wirings:   FilterProc0,
+		Inputs:  []string{"a", "b"},
+		Level:   1,
+		Nondet:  true,
+		Wirings: FilterProc0,
 	}); err != nil {
 		t.Fatalf("level N-1 unsafe at N=2: %v", err)
 	}
 	if _, err := CheckSnapshotWaitFree(SnapshotConfig{
-		Inputs:    []string{"a", "b"},
-		Level:     1,
-		Nondet:    true,
-		Wirings:   FilterProc0,
+		Inputs:  []string{"a", "b"},
+		Level:   1,
+		Nondet:  true,
+		Wirings: FilterProc0,
 	}); err != nil {
 		t.Fatalf("level N-1 not wait-free at N=2: %v", err)
 	}
@@ -367,9 +367,9 @@ func TestNoWitnessAtN2(t *testing.T) {
 	// atomic memory snapshot (every output was the memory union at some
 	// instant). The paper's non-atomicity witness requires N=3.
 	r, err := FindNonAtomicityWitness(SnapshotConfig{
-		Inputs:    []string{"a", "b"},
-		Wirings:   FilterProc0,
-		Traces:    true,
+		Inputs:  []string{"a", "b"},
+		Wirings: FilterProc0,
+		Traces:  true,
 	})
 	if err != nil {
 		t.Fatal(err)

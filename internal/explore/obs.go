@@ -72,6 +72,21 @@ func publishStats(reg *obs.Registry, res Result) {
 	for w, steps := range res.Stats.WorkerSteps {
 		reg.Counter("explore_worker_steps_total", engine, obs.L("worker", strconv.Itoa(w))).Add(steps)
 	}
+	if st := res.Stats.Store; res.Stats.StoreKind == "disk" {
+		kind := obs.L("store", res.Stats.StoreKind)
+		reg.Counter("explore_store_spills_total", kind).Add(st.Spills)
+		reg.Counter("explore_store_compactions_total", kind).Add(st.Compactions)
+		reg.Counter("explore_store_frontier_spills_total", kind).Add(st.FrontierSpills)
+		reg.Counter("explore_store_frontier_loads_total", kind).Add(st.FrontierLoads)
+		reg.Counter("explore_store_replays_total", kind).Add(st.Replays)
+		reg.Counter("explore_store_replay_steps_total", kind).Add(st.ReplaySteps)
+		reg.Counter("explore_store_disk_bytes_written_total", kind).Add(st.DiskBytesWritten)
+		reg.Gauge("explore_store_runs", kind).Set(float64(st.Runs))
+		reg.Gauge("explore_store_disk_bytes", kind).Set(float64(st.DiskBytes))
+	}
+	if st := res.Stats.Store; st.Checkpoints > 0 {
+		reg.Counter("explore_store_checkpoints_total").Add(st.Checkpoints)
+	}
 }
 
 // emitEngineEvents writes the engine.start/engine.finish event pair for

@@ -8,21 +8,34 @@ import (
 	"time"
 
 	"anonshm/internal/machine"
+	"anonshm/internal/store"
 )
 
 // This file implements ParallelEngine: a work-stealing parallel
 // breadth-first search.
 //
-// Layout. Every worker owns a deque of discovered-but-unexpanded states;
-// it pops from the front (oldest first, so expansion stays roughly
-// breadth-first) and thieves steal the back half of a victim's deque, so
-// load balances without a shared queue. The visited set is a sharded
-// open-addressing fingerprint table: readers probe with atomic loads and
-// never take a lock (states are never removed, so a hit on a stale slice
-// is still a hit, and a miss falls through to a per-shard mutex that
-// re-probes before inserting). Deduplication therefore does not serialize
-// the workers — the only shared mutable state on the hot path is the
-// table's atomic slots and a handful of counters.
+// Layout. Every worker owns a frontier shard (store.Frontier) of
+// discovered-but-unexpanded states; it pops from the front (oldest
+// first, so expansion stays roughly breadth-first) and thieves steal the
+// back half of a victim's shard, so load balances without a shared
+// queue. The visited set comes from the store layer: on the mem tier a
+// sharded open-addressing fingerprint table whose readers probe with
+// atomic loads and never take a lock, on the disk tier a hot table plus
+// sorted runs behind an internal mutex. Deduplication therefore does not
+// serialize the workers on the mem tier — the only shared mutable state
+// on the hot path is the table's atomic slots and a handful of counters.
+//
+// Depth. The visited set records each fingerprint's minimum discovery
+// depth. Racing workers can reach a state first along a longer path;
+// when a later, shorter rediscovery improves the recorded depth, the
+// engine queues a relax entry that re-expands the state's successors
+// with the smaller depth (and so on, transitively). Relax expansions
+// touch no counter — States, Edges, Terminals, WorkerSteps and the dedup
+// counters all keep their serial identities — and terminate because
+// recorded depths strictly decrease toward the true BFS depth. The final
+// MaxDepth is read off the visited set after the workers join, making it
+// the exact BFS eccentricity, deterministic across runs and equal to the
+// serial engines'.
 //
 // Termination. A global counter tracks queued-but-unexpanded states; it
 // is incremented before a state is pushed and decremented after its
@@ -30,24 +43,22 @@ import (
 // anywhere and no expansion (which could push more) is in flight. An
 // idle worker that finds nothing to steal exits when the counter is zero.
 //
-// Cancellation. Invariant violations, step errors and the state bound set
-// a stop flag that every worker checks between successor generations, so
-// all workers quit promptly. The first invariant violation wins; its
-// counterexample trace is rebuilt after the workers have joined, from
-// per-worker append-only parent logs (node ids pack worker and log index
-// into an int64, so the logs need no cross-worker synchronization).
+// Cancellation and checkpoints. Invariant violations, step errors and
+// the state bound set a stop flag that every worker checks between
+// successor generations, so all workers quit promptly. The first
+// invariant violation wins; its counterexample trace is rebuilt after
+// the workers have joined, from per-worker append-only parent logs (node
+// ids pack worker and log index into an int64, so the logs need no
+// cross-worker synchronization). Periodic checkpoints use a pause
+// barrier: the worker whose discovery makes a checkpoint due raises a
+// flag, every worker parks at its loop top (no expansion in flight), and
+// the last one to park snapshots the visited set and all frontier shards
+// before releasing the others. Options.Cancel sets the stop flag; the
+// final checkpoint is then written after the join.
 
 // maxParallelWorkers bounds Options.Workers so node ids can pack the
 // worker index into the top 16 bits of an int64.
 const maxParallelWorkers = 1 << 15
-
-// parEntry is a frontier state awaiting expansion by some worker.
-type parEntry struct {
-	sys   *machine.System
-	aux   uint64
-	id    int64 // node id for trace reconstruction; -1 when Traces is off
-	depth int32
-}
 
 // parNode is one entry of a worker's parent log (Traces only).
 type parNode struct {
@@ -62,178 +73,10 @@ func unpackID(id int64) (worker, idx int) {
 	return int(id >> 48), int(id & (1<<48 - 1))
 }
 
-// wsDeque is a work-stealing deque of frontier states. All operations
-// take the mutex; the owner touches it far more often than thieves, so
-// the lock is almost always uncontended. The owner pops oldest-first
-// (BFS-like order keeps counterexample depths small); thieves take the
-// newest half.
-type wsDeque struct {
-	mu   sync.Mutex
-	buf  []parEntry
-	head int
-}
-
-func (d *wsDeque) push(e parEntry) {
-	d.mu.Lock()
-	d.buf = append(d.buf, e)
-	d.mu.Unlock()
-}
-
-func (d *wsDeque) pushBatch(es []parEntry) {
-	d.mu.Lock()
-	d.buf = append(d.buf, es...)
-	d.mu.Unlock()
-}
-
-func (d *wsDeque) pop() (parEntry, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.head >= len(d.buf) {
-		d.buf = d.buf[:0]
-		d.head = 0
-		return parEntry{}, false
-	}
-	e := d.buf[d.head]
-	d.buf[d.head] = parEntry{} // release for GC
-	d.head++
-	if d.head >= 1024 && d.head*2 >= len(d.buf) {
-		n := copy(d.buf, d.buf[d.head:])
-		for i := n; i < len(d.buf); i++ {
-			d.buf[i] = parEntry{}
-		}
-		d.buf = d.buf[:n]
-		d.head = 0
-	}
-	return e, true
-}
-
-// stealHalf removes and returns the newest half of the deque (nil when
-// empty).
-func (d *wsDeque) stealHalf() []parEntry {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	avail := len(d.buf) - d.head
-	if avail <= 0 {
-		return nil
-	}
-	take := (avail + 1) / 2
-	out := make([]parEntry, take)
-	copy(out, d.buf[len(d.buf)-take:])
-	tail := len(d.buf) - take
-	for i := tail; i < len(d.buf); i++ {
-		d.buf[i] = parEntry{}
-	}
-	d.buf = d.buf[:tail]
-	return out
-}
-
-// fpSlots is one immutable-size open-addressing array of fingerprints.
-// Slots hold 0 (empty) or a fingerprint; entries are never deleted.
-type fpSlots struct {
-	arr  []atomic.Uint64
-	mask uint64
-}
-
-// fpShard is one lock shard of the fingerprint table. Readers load the
-// current slots atomically and probe lock-free; writers insert (and grow)
-// under the mutex and publish new arrays with an atomic pointer store. A
-// published array is at most half full, so lock-free probes always find
-// an empty slot or the fingerprint.
-type fpShard struct {
-	mu    sync.Mutex
-	slots atomic.Pointer[fpSlots]
-	used  int      // guarded by mu
-	_     [40]byte // pad to a cache line to avoid false sharing between shards
-}
-
-// fpTable is the sharded visited set. The shard is chosen by the low
-// fingerprint bits, the probe position by higher bits, so the two are
-// uncorrelated.
-type fpTable struct {
-	shards    []fpShard
-	shardMask uint64
-}
-
-// zeroFPSubstitute replaces a fingerprint of exactly 0, which is reserved
-// for empty slots. Mapping 0 to a fixed odd constant merges it with that
-// constant's states — indistinguishable from an ordinary 2⁻⁶⁴ collision.
-const zeroFPSubstitute = 0x9e3779b97f4a7c15
-
-func newFPTable(workers int) *fpTable {
-	nShards := 64
-	for nShards < workers*8 {
-		nShards <<= 1
-	}
-	t := &fpTable{shards: make([]fpShard, nShards), shardMask: uint64(nShards - 1)}
-	for i := range t.shards {
-		s := &fpSlots{arr: make([]atomic.Uint64, 256), mask: 255}
-		t.shards[i].slots.Store(s)
-	}
-	return t
-}
-
-// insert adds fp to the table, reporting whether it was absent.
-func (t *fpTable) insert(fp uint64) bool {
-	if fp == 0 {
-		fp = zeroFPSubstitute
-	}
-	sh := &t.shards[fp&t.shardMask]
-	h := fp >> 7
-	// Lock-free fast path: either we find fp (a dedup hit, the common
-	// case in a dense state graph) or we hit an empty slot and take the
-	// slow path.
-	s := sh.slots.Load()
-	for i := h & s.mask; ; i = (i + 1) & s.mask {
-		v := s.arr[i].Load()
-		if v == fp {
-			return false
-		}
-		if v == 0 {
-			break
-		}
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	s = sh.slots.Load() // may have grown since the fast path
-	for i := h & s.mask; ; i = (i + 1) & s.mask {
-		v := s.arr[i].Load()
-		if v == fp {
-			return false
-		}
-		if v == 0 {
-			s.arr[i].Store(fp)
-			sh.used++
-			if uint64(sh.used)*2 >= uint64(len(s.arr)) {
-				sh.grow(s)
-			}
-			return true
-		}
-	}
-}
-
-// grow doubles the shard's slot array and publishes it. Called with mu
-// held; the old array stays valid for concurrent lock-free readers.
-func (sh *fpShard) grow(old *fpSlots) {
-	ns := &fpSlots{arr: make([]atomic.Uint64, 2*len(old.arr)), mask: uint64(2*len(old.arr) - 1)}
-	for i := range old.arr {
-		v := old.arr[i].Load()
-		if v == 0 {
-			continue
-		}
-		for j := (v >> 7) & ns.mask; ; j = (j + 1) & ns.mask {
-			if ns.arr[j].Load() == 0 {
-				ns.arr[j].Store(v)
-				break
-			}
-		}
-	}
-	sh.slots.Store(ns)
-}
-
 // parWorker is one worker's private state. Only the owning goroutine
-// touches the counters and log; the deque has its own lock.
+// touches the counters and log; the frontier shard has its own lock.
 type parWorker struct {
-	deque   wsDeque
+	fr      store.Frontier
 	steps   int64 // states expanded
 	lookups int64
 	hits    int64
@@ -242,26 +85,33 @@ type parWorker struct {
 
 // parRun is the shared state of one parallel exploration.
 type parRun struct {
-	opts    Options
-	workers []parWorker
-
-	table *fpTable
+	opts     Options
+	workers  []parWorker
+	visited  store.VisitedSet
+	needPath bool
 
 	states    atomic.Int64
 	edges     atomic.Int64
 	terminals atomic.Int64
 	pruned    atomic.Int64
-	maxDepth  atomic.Int64
 	pending   atomic.Int64 // queued or in-expansion states
 	peak      atomic.Int64 // high-water mark of pending
 	truncated atomic.Bool
 	stop      atomic.Bool
+	canceled  atomic.Bool
 
 	failMu     sync.Mutex
 	stepErr    error // first non-invariant failure
 	invErr     error // first invariant violation
 	invNode    int64 // node id of the violation (-1 without Traces)
 	progressMu sync.Mutex
+
+	// Checkpoint pause barrier.
+	pause    atomic.Bool
+	ckptMu   sync.Mutex
+	ckptCond *sync.Cond
+	parked   int // workers waiting at the barrier (ckptMu)
+	activeW  int // workers that have not exited (ckptMu)
 }
 
 // runParallel is the work-stealing parallel BFS engine behind Run.
@@ -276,34 +126,78 @@ func runParallel(init *machine.System, opts Options) (Result, error) {
 	p := &parRun{
 		opts:    opts,
 		workers: make([]parWorker, nw),
-		table:   newFPTable(nw),
+		visited: opts.visited,
+		activeW: nw,
 	}
+	p.ckptCond = sync.NewCond(&p.ckptMu)
+	for w := range p.workers {
+		fr, err := opts.st.NewFrontier(w, store.FIFO)
+		if err != nil {
+			return Result{}, fmt.Errorf("explore: %w", err)
+		}
+		p.workers[w].fr = fr
+		defer fr.Close()
+	}
+	p.needPath = p.workers[0].fr.NeedsPath() || opts.ckpt != nil
 
-	// Seed the root state on worker 0.
-	rootSys := init.Clone()
-	rootFP := opts.hasher.Fingerprint(rootSys, opts.InitAux)
-	p.table.insert(rootFP)
-	p.workers[0].lookups++
-	p.states.Store(1)
-	rootID := int64(-1)
-	if opts.Traces {
-		p.workers[0].log = append(p.workers[0].log, parNode{parent: -1})
-		rootID = packID(0, 0)
-	}
-	if rootSys.Quiescent() {
-		p.terminals.Store(1)
-	}
-	if opts.Invariant != nil {
-		if err := opts.Invariant(Node{Sys: rootSys, Aux: opts.InitAux, Depth: 0}); err != nil {
-			res := p.result()
-			// The one-node trace: zero steps, but non-nil when Traces is
-			// set, matching the serial engines' root-violation behaviour.
-			return res, &InvariantError{Err: err, Trace: p.traceTo(rootID)}
+	if opts.resume != nil {
+		m := opts.resume.Meta
+		p.states.Store(m.States)
+		p.edges.Store(m.Edges)
+		p.terminals.Store(m.Terminals)
+		p.pruned.Store(m.Pruned)
+		for i, s := range m.WorkerSteps {
+			p.workers[i%nw].steps += s
+		}
+		p.workers[0].lookups = m.DedupLookups
+		p.workers[0].hits = m.DedupHits
+		entries, err := opts.resume.Frontier()
+		if err != nil {
+			return p.result(), fmt.Errorf("explore: resume: %w", err)
+		}
+		for i, e := range entries {
+			e.Tag = -1
+			if err := p.workers[i%nw].fr.Push(e); err != nil {
+				return p.result(), fmt.Errorf("explore: resume: %w", err)
+			}
+		}
+		p.pending.Store(int64(len(entries)))
+		peak := int64(m.FrontierPeak)
+		if n := int64(len(entries)); n > peak {
+			peak = n
+		}
+		p.peak.Store(peak)
+	} else {
+		// Seed the root state on worker 0.
+		rootSys := init.Clone()
+		rootFP := opts.hasher.Fingerprint(rootSys, opts.InitAux)
+		if _, _, err := p.visited.Insert(rootFP, 0); err != nil {
+			return p.result(), fmt.Errorf("explore: %w", err)
+		}
+		p.workers[0].lookups++
+		p.states.Store(1)
+		rootID := int64(-1)
+		if opts.Traces {
+			p.workers[0].log = append(p.workers[0].log, parNode{parent: -1})
+			rootID = packID(0, 0)
+		}
+		if rootSys.Quiescent() {
+			p.terminals.Store(1)
+		}
+		if opts.Invariant != nil {
+			if err := opts.Invariant(Node{Sys: rootSys, Aux: opts.InitAux, Depth: 0}); err != nil {
+				res := p.result()
+				// The one-node trace: zero steps, but non-nil when Traces is
+				// set, matching the serial engines' root-violation behaviour.
+				return res, &InvariantError{Err: err, Trace: p.traceTo(rootID)}
+			}
+		}
+		p.pending.Store(1)
+		p.peak.Store(1)
+		if err := p.workers[0].fr.Push(store.Entry{Sys: rootSys, Aux: opts.InitAux, Depth: 0, Tag: rootID}); err != nil {
+			return p.result(), fmt.Errorf("explore: %w", err)
 		}
 	}
-	p.pending.Store(1)
-	p.peak.Store(1)
-	p.workers[0].deque.push(parEntry{sys: rootSys, aux: opts.InitAux, id: rootID, depth: 0})
 
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -311,6 +205,10 @@ func runParallel(init *machine.System, opts Options) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			p.work(w)
+			p.ckptMu.Lock()
+			p.activeW--
+			p.ckptCond.Broadcast()
+			p.ckptMu.Unlock()
 		}(w)
 	}
 	wg.Wait()
@@ -321,12 +219,19 @@ func runParallel(init *machine.System, opts Options) (Result, error) {
 		return res, &InvariantError{Err: p.invErr, Trace: p.traceTo(p.invNode)}
 	case p.stepErr != nil:
 		return res, p.stepErr
+	case p.canceled.Load():
+		if opts.ckpt != nil {
+			if err := p.writeCheckpoint(); err != nil {
+				return res, fmt.Errorf("explore: checkpoint: %w", err)
+			}
+		}
+		return res, ErrCanceled
 	}
 	return res, nil
 }
 
-// work is one worker's main loop: drain the own deque, then steal; exit
-// on stop or when no queued work remains anywhere.
+// work is one worker's main loop: drain the own frontier shard, then
+// steal; exit on stop or when no queued work remains anywhere.
 func (p *parRun) work(w int) {
 	self := &p.workers[w]
 	idle := 0
@@ -334,7 +239,17 @@ func (p *parRun) work(w int) {
 		if p.stop.Load() {
 			return
 		}
-		e, ok := self.deque.pop()
+		p.maybePause()
+		if canceled(&p.opts) {
+			p.canceled.Store(true)
+			p.stop.Store(true)
+			return
+		}
+		e, ok, err := self.fr.Pop()
+		if err != nil {
+			p.fail(fmt.Errorf("explore: %w", err))
+			return
+		}
 		if !ok {
 			e, ok = p.steal(w)
 		}
@@ -351,40 +266,115 @@ func (p *parRun) work(w int) {
 			continue
 		}
 		idle = 0
+		// Entries restored from a checkpoint into the mem tier carry only
+		// their path; the disk tier replays inside Pop.
+		if e.Sys == nil {
+			if err := p.opts.st.Replay(&e); err != nil {
+				p.fail(fmt.Errorf("explore: %w", err))
+				return
+			}
+		}
 		p.expand(w, e)
 		p.pending.Add(-1)
 	}
 }
 
+// maybePause parks the worker at the checkpoint barrier when a periodic
+// checkpoint is due. The last worker to park (no expansion is in flight
+// anywhere) writes the checkpoint and releases the others; workers that
+// exit while the barrier is forming shrink the quorum.
+func (p *parRun) maybePause() {
+	if !p.pause.Load() {
+		return
+	}
+	p.ckptMu.Lock()
+	p.parked++
+	for p.pause.Load() {
+		if p.parked == p.activeW {
+			if err := p.writeCheckpoint(); err != nil {
+				p.fail(fmt.Errorf("explore: checkpoint: %w", err))
+			}
+			p.pause.Store(false)
+			break
+		}
+		p.ckptCond.Wait()
+	}
+	p.parked--
+	p.ckptCond.Broadcast()
+	p.ckptMu.Unlock()
+}
+
+// writeCheckpoint snapshots the visited set, every frontier shard and
+// the counters. Called either by the last worker parked at the barrier
+// (all other workers quiescent) or after the join.
+func (p *parRun) writeCheckpoint() error {
+	var snap []store.Entry
+	for w := range p.workers {
+		err := p.workers[w].fr.Snapshot(func(e store.Entry) error {
+			e.Tag = 0
+			snap = append(snap, e)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	states := p.states.Load()
+	meta := store.Meta{
+		States: states, Edges: p.edges.Load(),
+		Terminals: p.terminals.Load(), Pruned: p.pruned.Load(),
+		FrontierPeak: int(p.peak.Load()),
+		WorkerSteps:  make([]int64, len(p.workers)),
+	}
+	for i := range p.workers {
+		meta.WorkerSteps[i] = p.workers[i].steps
+		meta.DedupLookups += p.workers[i].lookups
+		meta.DedupHits += p.workers[i].hits
+	}
+	return p.opts.ckpt.write(meta, p.visited, snap, states)
+}
+
 // steal scans the other workers round-robin and takes the newest half of
-// the first non-empty deque.
-func (p *parRun) steal(w int) (parEntry, bool) {
+// the first non-empty shard.
+func (p *parRun) steal(w int) (store.Entry, bool) {
 	n := len(p.workers)
 	for off := 1; off < n; off++ {
 		victim := &p.workers[(w+off)%n]
-		if got := victim.stealHalf(); len(got) > 0 {
+		if got := victim.fr.StealHalf(); len(got) > 0 {
 			e := got[0]
-			if len(got) > 1 {
-				p.workers[w].deque.pushBatch(got[1:])
+			for _, b := range got[1:] {
+				if err := p.workers[w].fr.Push(b); err != nil {
+					p.fail(fmt.Errorf("explore: %w", err))
+					return store.Entry{}, false
+				}
 			}
 			return e, true
 		}
 	}
-	return parEntry{}, false
+	return store.Entry{}, false
 }
 
-func (w *parWorker) stealHalf() []parEntry { return w.deque.stealHalf() }
-
 // expand generates every successor of e, deduplicates, and queues the new
-// states on the worker's own deque.
-func (p *parRun) expand(w int, e parEntry) {
+// states on the worker's own shard. Relax entries re-run the successor
+// loop purely to propagate improved depths: they touch no counter. If a
+// relax entry finds a successor absent from the visited set — its
+// state's original discovery entry has not been expanded yet — it is
+// requeued: the improvement cannot be applied until the successors
+// exist, and the original entry (already queued somewhere) guarantees
+// they eventually will.
+func (p *parRun) expand(w int, e store.Entry) {
 	self := &p.workers[w]
-	self.steps++
-	if p.opts.Prune != nil && p.opts.Prune(Node{Sys: e.sys, Aux: e.aux, Depth: int(e.depth)}) {
-		p.pruned.Add(1)
+	if !e.Relax {
+		self.steps++
+	}
+	if p.opts.Prune != nil && p.opts.Prune(Node{Sys: e.Sys, Aux: e.Aux, Depth: int(e.Depth)}) {
+		if !e.Relax {
+			p.pruned.Add(1)
+		}
 		return
 	}
-	sys := e.sys
+	miss := false
+	sys := e.Sys
 	for proc := 0; proc < sys.N(); proc++ {
 		if !sys.Enabled(proc) {
 			continue
@@ -400,9 +390,11 @@ func (p *parRun) expand(w int, e parEntry) {
 				p.fail(fmt.Errorf("explore: %w", err))
 				return
 			}
-			if !p.successor(w, e, succ, info) {
+			ok, m := p.successor(w, e, succ, info)
+			if !ok {
 				return
 			}
+			miss = miss || m
 		}
 	}
 	if p.opts.MaxCrashes > 0 && sys.CrashCount() < p.opts.MaxCrashes {
@@ -419,43 +411,86 @@ func (p *parRun) expand(w int, e parEntry) {
 				p.fail(fmt.Errorf("explore: %w", err))
 				return
 			}
-			if !p.successor(w, e, succ, info) {
+			ok, m := p.successor(w, e, succ, info)
+			if !ok {
 				return
 			}
+			miss = miss || m
 		}
+	}
+	if miss {
+		p.push(w, e)
 	}
 }
 
 // successor runs one generated successor through aux folding, dedup and
-// discovery; a false return means the worker should stop expanding.
-func (p *parRun) successor(w int, e parEntry, succ *machine.System, info machine.StepInfo) bool {
+// discovery; ok=false means the worker should stop expanding. For relax
+// parents it only min-merges the successor's depth, queueing a further
+// relax entry when the depth improved; miss reports that the successor
+// was not in the visited set yet (the caller requeues the relax entry).
+func (p *parRun) successor(w int, e store.Entry, succ *machine.System, info machine.StepInfo) (ok, miss bool) {
 	self := &p.workers[w]
-	p.edges.Add(1)
-	aux := e.aux
+	aux := e.Aux
 	if p.opts.Aux != nil {
 		aux = p.opts.Aux(aux, info, succ)
 	}
 	fp := p.opts.hasher.Fingerprint(succ, aux)
-	self.lookups++
-	if !p.table.insert(fp) {
-		self.hits++
-		return true
+	var path *store.PathNode
+	if p.needPath {
+		path = e.Path.Extend(packStepInfo(info))
 	}
-	return p.discovered(w, succ, aux, e.id, info, e.depth+1) == nil
+	if e.Relax {
+		improved, found, err := p.visited.Relax(fp, e.Depth+1)
+		if err != nil {
+			p.fail(fmt.Errorf("explore: %w", err))
+			return false, false
+		}
+		if improved {
+			p.push(w, store.Entry{Sys: succ, Aux: aux, Depth: e.Depth + 1, Tag: -1, Path: path, Relax: true})
+		}
+		return true, !found
+	}
+	p.edges.Add(1)
+	self.lookups++
+	fresh, improved, err := p.visited.Insert(fp, e.Depth+1)
+	if err != nil {
+		p.fail(fmt.Errorf("explore: %w", err))
+		return false, false
+	}
+	if !fresh {
+		self.hits++
+		if improved {
+			// A shorter path to a known state: re-expand it with the
+			// smaller depth so every recorded depth converges to the true
+			// BFS minimum.
+			p.push(w, store.Entry{Sys: succ, Aux: aux, Depth: e.Depth + 1, Tag: -1, Path: path, Relax: true})
+		}
+		return true, false
+	}
+	return p.discovered(w, succ, aux, e.Tag, info, e.Depth+1, path) == nil, false
+}
+
+// push queues a relax (or requeued) entry, maintaining pending and the
+// frontier peak.
+func (p *parRun) push(w int, e store.Entry) {
+	pend := p.pending.Add(1)
+	for {
+		cur := p.peak.Load()
+		if pend <= cur || p.peak.CompareAndSwap(cur, pend) {
+			break
+		}
+	}
+	if err := p.workers[w].fr.Push(e); err != nil {
+		p.fail(fmt.Errorf("explore: %w", err))
+	}
 }
 
 // discovered registers a newly-inserted state: counters, parent log,
 // invariant, bound check, and the frontier push. A non-nil return means
 // the search is stopping (the reason is recorded in p).
-func (p *parRun) discovered(w int, succ *machine.System, aux uint64, parent int64, info machine.StepInfo, depth int32) error {
+func (p *parRun) discovered(w int, succ *machine.System, aux uint64, parent int64, info machine.StepInfo, depth int32, path *store.PathNode) error {
 	self := &p.workers[w]
 	cnt := p.states.Add(1)
-	for {
-		cur := p.maxDepth.Load()
-		if int64(depth) <= cur || p.maxDepth.CompareAndSwap(cur, int64(depth)) {
-			break
-		}
-	}
 	id := int64(-1)
 	if p.opts.Traces {
 		self.log = append(self.log, parNode{parent: parent, how: info})
@@ -482,7 +517,13 @@ func (p *parRun) discovered(w int, succ *machine.System, aux uint64, parent int6
 			break
 		}
 	}
-	self.deque.push(parEntry{sys: succ, aux: aux, id: id, depth: depth})
+	if err := p.workers[w].fr.Push(store.Entry{Sys: succ, Aux: aux, Depth: depth, Tag: id, Path: path}); err != nil {
+		p.fail(fmt.Errorf("explore: %w", err))
+		return err
+	}
+	if p.opts.ckpt.due(cnt) {
+		p.pause.Store(true)
+	}
 	if p.opts.Progress != nil && p.opts.ProgressEvery > 0 && cnt%int64(p.opts.ProgressEvery) == 0 {
 		p.progressMu.Lock()
 		p.opts.Progress(int(cnt), int(p.edges.Load()))
@@ -537,14 +578,16 @@ func (p *parRun) traceTo(id int64) []machine.StepInfo {
 	return out
 }
 
-// result assembles the Result from the run's counters.
+// result assembles the Result from the run's counters. MaxDepth is read
+// off the visited set: the maximum over all states of the minimum
+// discovery depth, i.e. the exact BFS eccentricity.
 func (p *parRun) result() Result {
 	var res Result
 	res.States = int(p.states.Load())
 	res.Edges = int(p.edges.Load())
 	res.Terminals = int(p.terminals.Load())
 	res.Pruned = int(p.pruned.Load())
-	res.MaxDepth = int(p.maxDepth.Load())
+	res.MaxDepth = int(p.visited.MaxDepth())
 	res.Truncated = p.truncated.Load()
 	s := float64(res.States)
 	res.CollisionOdds = s * s / (2.0 * (1 << 63) * 2.0)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"anonshm/internal/store"
 )
 
 // Stats instruments an exploration: how fast the engine ran, how much
@@ -39,6 +41,11 @@ type Stats struct {
 	// WorkerSteps is the number of states expanded by each worker; a
 	// skewed distribution means work stealing failed to balance the load.
 	WorkerSteps []int64
+	// StoreKind names the storage tier the run used ("mem", "disk").
+	StoreKind string
+	// Store counts the storage layer's work: spills, compactions, path
+	// replays, checkpoints and disk bytes. All zero on the mem tier.
+	Store store.Stats
 }
 
 // finalize derives the ratio fields once the raw counters are in.
@@ -85,6 +92,23 @@ func (s *Stats) Merge(o Stats) {
 	for i, n := range o.WorkerSteps {
 		s.WorkerSteps[i] += n
 	}
+	if s.StoreKind == "" {
+		s.StoreKind = o.StoreKind
+	}
+	s.Store.Spills += o.Store.Spills
+	s.Store.Compactions += o.Store.Compactions
+	if o.Store.Runs > s.Store.Runs {
+		s.Store.Runs = o.Store.Runs
+	}
+	s.Store.FrontierSpills += o.Store.FrontierSpills
+	s.Store.FrontierLoads += o.Store.FrontierLoads
+	s.Store.Replays += o.Store.Replays
+	s.Store.ReplaySteps += o.Store.ReplaySteps
+	s.Store.Checkpoints += o.Store.Checkpoints
+	s.Store.DiskBytesWritten += o.Store.DiskBytesWritten
+	if o.Store.DiskBytes > s.Store.DiskBytes {
+		s.Store.DiskBytes = o.Store.DiskBytes
+	}
 }
 
 // MergedRate returns states/sec over merged stats for the given total
@@ -104,6 +128,11 @@ func (s Stats) String() string {
 		s.FrontierPeak, 100*s.DedupHitRate)
 	if s.Symmetry != "" && s.Symmetry != "none" {
 		fmt.Fprintf(&b, " symmetry=%s group=%d", s.Symmetry, s.GroupSize)
+	}
+	if s.StoreKind == "disk" {
+		fmt.Fprintf(&b, " store=disk spills=%d compactions=%d replays=%d disk=%s",
+			s.Store.Spills, s.Store.Compactions, s.Store.Replays,
+			store.Bytes(s.Store.DiskBytesWritten))
 	}
 	return b.String()
 }

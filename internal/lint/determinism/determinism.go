@@ -5,8 +5,9 @@
 // engines (EXPERIMENTS.md E14), and report files must diff cleanly. Any
 // order or value that varies between runs of the same binary breaks that.
 // Within the determinism-critical packages (-packages, default
-// internal/explore, internal/machine, internal/core) the analyzer flags
-// the three classic sources of silent run-to-run variation:
+// internal/explore, internal/machine, internal/core, internal/store)
+// the analyzer flags the three classic sources of silent run-to-run
+// variation:
 //
 //   - iteration over a map (unordered by language definition);
 //   - time.Now on an exploration path;
@@ -26,7 +27,7 @@ import (
 
 // DefaultPackages is the default -packages scope: the packages whose
 // behaviour feeds state enumeration, fingerprints and trace output.
-const DefaultPackages = "internal/explore,internal/machine,internal/core"
+const DefaultPackages = "internal/explore,internal/machine,internal/core,internal/store"
 
 var packages string
 

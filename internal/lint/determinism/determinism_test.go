@@ -1,6 +1,8 @@
 package determinism_test
 
 import (
+	"slices"
+	"strings"
 	"testing"
 
 	"anonshm/internal/lint/determinism"
@@ -20,5 +22,17 @@ func TestGolden(t *testing.T) {
 func TestOutOfScope(t *testing.T) {
 	if fs := linttest.Findings(t, "testdata", determinism.Analyzer, "otherpkg"); len(fs) != 0 {
 		t.Fatalf("out-of-scope package produced findings: %+v", fs)
+	}
+}
+
+// TestStoreInScope pins internal/store in the default scope: spill
+// order, run merging and checkpoint bytes all feed resumable state
+// counts, so the out-of-core layer is determinism-critical too.
+func TestStoreInScope(t *testing.T) {
+	scope := strings.Split(determinism.DefaultPackages, ",")
+	for _, p := range []string{"internal/explore", "internal/machine", "internal/core", "internal/store"} {
+		if !slices.Contains(scope, p) {
+			t.Errorf("package %s not in DefaultPackages %q", p, determinism.DefaultPackages)
+		}
 	}
 }
