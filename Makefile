@@ -27,10 +27,12 @@ test:
 # shared read-only across the parallel engine's workers, and the
 # symmetry-equivalence tests in internal/explore drive exactly that
 # sharing; internal/store because its visited table and frontier are the
-# shared mutable state under those workers. -short skips the N=3 crash
-# spaces, which the plain test target still covers.
+# shared mutable state under those workers; internal/obs and its span
+# tracer because metrics, histograms and trace spans are written from
+# all of those goroutines at once. -short skips the N=3 crash spaces,
+# which the plain test target still covers.
 race:
-	$(GO) test -race -short ./internal/explore/ ./internal/canon/ ./internal/sched/ ./internal/runtime/ ./internal/store/
+	$(GO) test -race -short ./internal/explore/ ./internal/canon/ ./internal/sched/ ./internal/runtime/ ./internal/store/ ./internal/obs/ ./internal/obs/span/
 
 # Extended tier-1 gate: what CI (and ROADMAP.md) require before merge.
 verify: build vet lint test race

@@ -38,6 +38,23 @@
 // (/debug/pprof/) while the search runs. cmd/figures -load renders
 // report files back into tables.
 //
+// Tracing and run history: -trace FILE records the run as Chrome
+// trace_event JSON — one span per sweep, wiring, engine run, store
+// spill/compaction/replay and checkpoint write — loadable in Perfetto
+// or chrome://tracing; the per-phase totals also land in the report's
+// "trace" section. -events FILE streams engine lifecycle events as
+// JSONL (the same stream anonsim's -events carries per step). -ledger
+// FILE appends one JSONL entry per run (config, totals, wall time,
+// phase breakdown, outcome) to a persistent history — conventionally
+// .anonledger/runs.jsonl — that cmd/figures -trend turns into
+// throughput trajectories and regression checks.
+//
+// Stall watchdog: -stall-after DUR arms a watchdog that fires when no
+// state has been discovered for DUR; it records the stall in the
+// metrics/events/trace streams and dumps goroutine and heap profiles
+// next to the report (stall-goroutine.pprof, stall-heap.pprof).
+// With -stall-abort the run is also aborted with exit code 5.
+//
 // Examples:
 //
 //	anonexplore -check safety   -inputs a,b       # snapshot-task outputs, all wirings
@@ -54,9 +71,9 @@
 //
 // Exit status (shared with anonsim, see internal/exitcode): 0 when every
 // checked invariant held, 1 on operational errors, 2 on usage errors,
-// and 3 when the search produced a counterexample — the one-line
+// 3 when the search produced a counterexample — the one-line
 // "invariant violated: ..." summary goes to stderr, the full trace to
-// stdout.
+// stdout — and 5 when -stall-abort killed a stalled run.
 package main
 
 import (
@@ -65,6 +82,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -72,6 +90,8 @@ import (
 	"anonshm/internal/exitcode"
 	"anonshm/internal/explore"
 	"anonshm/internal/obs"
+	"anonshm/internal/obs/ledger"
+	"anonshm/internal/obs/span"
 	"anonshm/internal/store"
 )
 
@@ -102,6 +122,11 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write periodic checkpoints to this directory; ^C stops cleanly after a final one")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in discovered states (0 = default)")
 		resume     = flag.String("resume", "", "resume a stopped sweep from this checkpoint directory")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON trace of the run to this file (load in Perfetto)")
+		eventsPath = flag.String("events", "", "stream engine lifecycle events to this file as JSONL")
+		ledgerPath = flag.String("ledger", "", "append a run-history entry to this JSONL ledger (conventionally "+ledger.DefaultPath+")")
+		stallAfter = flag.Duration("stall-after", 0, "watchdog: diagnose a stall after this long with no discovered state, dumping pprof profiles (0 = off)")
+		stallAbort = flag.Bool("stall-abort", false, "abort a stalled run with exit code 5 (requires -stall-after)")
 	)
 	flag.Var(&engine, "engine", "explorer engine: auto | bfs | dfs | parallel")
 	flag.Var(&wirings, "wirings", "wiring sweep filter: all | proc0 | orbits")
@@ -118,6 +143,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "anonexplore: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", addr)
 	}
+	var tr *span.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonexplore:", err)
+			os.Exit(2)
+		}
+		traceFile, tr = f, span.New(f)
+	}
+	var events *obs.Sink
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonexplore:", err)
+			os.Exit(2)
+		}
+		eventsFile, events = f, obs.NewSink(f)
+	}
+	stallDir := ""
+	if *reportPath != "" {
+		// Stall profiles land next to the report so one artifact
+		// directory carries the whole diagnosis.
+		stallDir = filepath.Dir(*reportPath)
+	}
 	cli := options{
 		check: *check, inputsCSV: *inputsCSV,
 		engine: engine, workers: *workers, progress: *progress,
@@ -126,10 +177,42 @@ func main() {
 		maxTS: *maxTS, trials: *trials, seed: *seed,
 		store: storeKind, storeDir: *storeDir, memLimit: memLimit,
 		checkpoint: *checkpoint, ckptEvery: *ckptEvery, resume: *resume,
+		trace: tr, events: events,
+		stallAfter: *stallAfter, stallAbort: *stallAbort, stallDir: stallDir,
 		cancel: interruptChannel(),
 	}
 	rep := obs.NewReport("anonexplore", os.Args[1:])
 	runErr := run(cli, reg, rep)
+	if tr != nil {
+		rep.Section("trace", map[string]any{"file": *tracePath, "phases": tr.PhaseSeconds()})
+		if err := tr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "anonexplore:", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "anonexplore: wrote trace to %s\n", *tracePath)
+		}
+		if err := traceFile.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if events != nil {
+		if err := events.Err(); err != nil && runErr == nil {
+			runErr = err
+		}
+		if err := eventsFile.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if *ledgerPath != "" {
+		if err := ledger.Append(*ledgerPath, ledgerEntry(cli, rep, tr, runErr)); err != nil {
+			fmt.Fprintln(os.Stderr, "anonexplore:", err)
+			if runErr == nil {
+				runErr = err
+			}
+		}
+	}
 	if *reportPath != "" {
 		if runErr != nil {
 			rep.Section("error", runErr.Error())
@@ -169,7 +252,52 @@ type options struct {
 	checkpoint string
 	ckptEvery  int
 	resume     string
+	trace      *span.Tracer
+	events     *obs.Sink
+	stallAfter time.Duration
+	stallAbort bool
+	stallDir   string
 	cancel     <-chan struct{}
+}
+
+// ledgerEntry condenses a finished run into its run-history record: the
+// comparability config recovered from argv (so live entries and
+// committed BENCH reports of the same invocation share a trajectory),
+// the sweep totals, the traced phase breakdown and the outcome.
+func ledgerEntry(cli options, rep *obs.Report, tr *span.Tracer, runErr error) ledger.Entry {
+	e := ledger.Entry{
+		Tool:    "anonexplore",
+		Check:   cli.check,
+		Config:  ledger.ConfigFromArgs(rep.Args),
+		Outcome: outcomeOf(runErr),
+	}
+	if sec, ok := rep.Sections["sweep"].(sweepSection); ok {
+		e.Wirings = sec.Wirings
+		e.States = int64(sec.TotalStates)
+		e.Edges = int64(sec.TotalEdges)
+		e.WallSeconds = sec.WallSeconds
+		e.StatesPerSec = sec.StatesPerSec
+	}
+	if tr != nil {
+		e.Phases = tr.PhaseSeconds()
+	}
+	return e
+}
+
+// outcomeOf classifies a run error for the ledger's outcome column.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, explore.ErrStalled):
+		return "stalled"
+	case errors.Is(err, explore.ErrCanceled):
+		return "canceled"
+	case exitcode.Code(err) == exitcode.Violation:
+		return "violation"
+	default:
+		return "error"
+	}
 }
 
 // interruptChannel maps the first SIGINT to a graceful stop (the sweeps
@@ -287,6 +415,11 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		MemLimit:   cli.memLimit,
 		Checkpoint: cli.checkpoint,
 		Resume:     cli.resume,
+		Events:     cli.events,
+		Trace:      cli.trace,
+		StallAfter: cli.stallAfter,
+		StallAbort: cli.stallAbort,
+		StallDir:   cli.stallDir,
 		Cancel:     cli.cancel,
 	}
 	if cli.ckptEvery > 0 {
@@ -308,6 +441,9 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		sweep, err := explore.CheckSnapshotSafety(cfg)
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
+		if errors.Is(err, explore.ErrStalled) {
+			return exitcode.WithCode(exitcode.Stalled, err)
+		}
 		if errors.Is(err, explore.ErrCanceled) {
 			return canceledError(cli)
 		}
@@ -323,6 +459,9 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		}
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
+		if errors.Is(err, explore.ErrStalled) {
+			return exitcode.WithCode(exitcode.Stalled, err)
+		}
 		if errors.Is(err, explore.ErrCanceled) {
 			return canceledError(cli)
 		}
@@ -379,6 +518,11 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 			Engine:       cli.engine,
 			Workers:      cli.workers,
 			Obs:          reg,
+			Events:       cli.events,
+			Trace:        cli.trace,
+			StallAfter:   cli.stallAfter,
+			StallAbort:   cli.stallAbort,
+			StallDir:     cli.stallDir,
 			Store:        cli.store,
 			StoreDir:     cli.storeDir,
 			MemLimit:     cli.memLimit,
@@ -386,6 +530,9 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 		})
 		report(sweep, start)
 		rep.Section("sweep", sectionOf(sweep))
+		if errors.Is(err, explore.ErrStalled) {
+			return exitcode.WithCode(exitcode.Stalled, err)
+		}
 		if errors.Is(err, explore.ErrCanceled) {
 			return canceledError(cli)
 		}
@@ -401,11 +548,13 @@ func run(cli options, reg *obs.Registry, rep *obs.Report) error {
 
 // canceledError renders a cancellation (first SIGINT) as an operational
 // error, not a violation: the run was cut short, nothing was refuted.
+// %.0w wraps ErrCanceled without repeating its message, so the ledger
+// can still classify the outcome with errors.Is.
 func canceledError(cli options) error {
 	if cli.checkpoint != "" {
-		return fmt.Errorf("run canceled; checkpoint saved under %s — rerun with -resume %s to continue", cli.checkpoint, cli.checkpoint)
+		return fmt.Errorf("run canceled; checkpoint saved under %s — rerun with -resume %s to continue%.0w", cli.checkpoint, cli.checkpoint, explore.ErrCanceled)
 	}
-	return fmt.Errorf("run canceled (no -checkpoint dir; progress was not saved)")
+	return fmt.Errorf("run canceled (no -checkpoint dir; progress was not saved)%.0w", explore.ErrCanceled)
 }
 
 // progressPrinter returns the -progress callback. It writes to stderr —

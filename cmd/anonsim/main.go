@@ -7,7 +7,10 @@
 // writes a JSON report with the run outcome, per-register access counts
 // and the full metrics snapshot; -events FILE streams every executed
 // step as JSONL; -http ADDR serves live metrics (/metrics) and pprof
-// (/debug/pprof/) while the simulation runs.
+// (/debug/pprof/) while the simulation runs. -trace-file FILE records
+// the run as Chrome trace_event JSON (crash injections appear as
+// instant events), and -ledger FILE appends a run-history entry that
+// cmd/figures -trend reads back as a trajectory.
 //
 // Examples:
 //
@@ -47,6 +50,8 @@ import (
 	"anonshm/internal/exitcode"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/obs/ledger"
+	"anonshm/internal/obs/span"
 	"anonshm/internal/renaming"
 	"anonshm/internal/sched"
 	"anonshm/internal/trace"
@@ -70,6 +75,8 @@ func main() {
 		reportPath = flag.String("report", "", "write a JSON metrics report to this file")
 		eventsPath = flag.String("events", "", "stream every executed step to this file as JSONL")
 		httpAddr   = flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run")
+		tracePath  = flag.String("trace-file", "", "write a Chrome trace_event JSON trace of the run to this file (load in Perfetto)")
+		ledgerPath = flag.String("ledger", "", "append a run-history entry to this JSONL ledger (conventionally "+ledger.DefaultPath+")")
 	)
 	flag.Parse()
 	reg := obs.New()
@@ -91,16 +98,61 @@ func main() {
 		defer f.Close()
 		sink = obs.NewSink(f)
 	}
+	var tr *span.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonsim:", err)
+			os.Exit(2)
+		}
+		traceFile, tr = f, span.New(f)
+	}
 	cli := options{
 		algo: *algo, inputsCSV: *inputsCSV, registers: *registers,
 		schedName: *schedName, wiring: *wiring, seed: *seed, steps: *steps,
 		crashes: *crashes, crashSeed: *crashSeed,
 		showTrace: *showTrace, nondet: *nondet, jsonOut: *jsonOut,
+		trace: tr,
 	}
 	rep := obs.NewReport("anonsim", os.Args[1:])
 	runErr := run(cli, reg, sink, rep)
 	if sink != nil && runErr == nil {
 		runErr = sink.Err()
+	}
+	if tr != nil {
+		rep.Section("trace", map[string]any{"file": *tracePath, "phases": tr.PhaseSeconds()})
+		if err := tr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "anonsim:", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "anonsim: wrote trace to %s\n", *tracePath)
+		}
+		if err := traceFile.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if *ledgerPath != "" {
+		e := ledger.Entry{
+			Tool:    "anonsim",
+			Check:   cli.algo,
+			Config:  ledger.ConfigFromArgs(rep.Args),
+			Outcome: simOutcome(runErr),
+		}
+		if out, ok := rep.Sections["run"].(runOutcome); ok {
+			e.Steps = int64(out.Steps)
+		}
+		if tr != nil {
+			e.Phases = tr.PhaseSeconds()
+		}
+		if err := ledger.Append(*ledgerPath, e); err != nil {
+			fmt.Fprintln(os.Stderr, "anonsim:", err)
+			if runErr == nil {
+				runErr = err
+			}
+		}
 	}
 	if *reportPath != "" {
 		if runErr != nil {
@@ -132,6 +184,19 @@ type options struct {
 	showTrace bool
 	nondet    bool
 	jsonOut   bool
+	trace     *span.Tracer
+}
+
+// simOutcome classifies a run error for the ledger's outcome column.
+func simOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case exitcode.Code(err) == exitcode.Violation:
+		return "violation"
+	default:
+		return "error"
+	}
 }
 
 // procOutcome is one processor's result, shared between -json output and
@@ -270,14 +335,17 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 			},
 		}
 	}
-	inst := sched.NewInstrument(reg, sink)
+	inst := sched.NewInstrument(reg, sink).WithTrace(cli.trace)
 	var observer sched.Observer
 	if rec != nil {
 		observer = sched.Observers(rec, inst)
 	} else {
 		observer = inst
 	}
+	runSpan := cli.trace.StartArgs("run", "simulate "+cli.algo,
+		map[string]any{"algo": cli.algo, "sched": cli.schedName, "n": n, "m": m})
 	res, err := sched.Run(sys, scheduler, budget, observer)
+	runSpan.End()
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"anonshm/internal/exitcode"
 )
 
 type experiment struct {
@@ -57,11 +59,20 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		which = flag.String("e", "all", "experiment: all | "+names())
-		heavy = flag.Bool("heavy", false, "include the heavyweight exhaustive experiments")
-		load  = flag.String("load", "", "render report files written with -report (comma-separated paths) instead of running experiments")
+		which     = flag.String("e", "all", "experiment: all | "+names())
+		heavy     = flag.Bool("heavy", false, "include the heavyweight exhaustive experiments")
+		load      = flag.String("load", "", "render report files written with -report (comma-separated paths) instead of running experiments")
+		trend     = flag.String("trend", "", "render run-history trajectories from these comma-separated paths (JSONL ledgers and/or report files) and check the latest run for throughput regressions")
+		threshold = flag.Float64("trend-threshold", 0.5, "flag a trajectory whose latest states/sec falls below this fraction of the median of earlier runs (0 disables)")
 	)
 	flag.Parse()
+	if *trend != "" {
+		if err := runTrend(strings.Split(*trend, ","), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(exitcode.Code(err))
+		}
+		return
+	}
 	if *load != "" {
 		if err := runLoad(strings.Split(*load, ",")); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)

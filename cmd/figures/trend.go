@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anonshm/internal/exitcode"
+	"anonshm/internal/obs"
+	"anonshm/internal/obs/ledger"
+	"anonshm/internal/trace"
+)
+
+// runTrend renders run-history trajectories: each path is either a
+// JSONL ledger (internal/obs/ledger) or a single -report JSON file
+// (e.g. the committed BENCH_*.json history), sniffed per file. Entries
+// with the same tool, check and config form one trajectory in the
+// order given. When the latest entry of a trajectory has a states/sec
+// below threshold × the median of the earlier entries, the run is
+// flagged and the returned error carries exitcode.Regression.
+func runTrend(paths []string, threshold float64) error {
+	var entries []ledger.Entry
+	for _, path := range paths {
+		es, err := loadTrend(path)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, es...)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no trend entries in %s", strings.Join(paths, ", "))
+	}
+	groups, order := groupEntries(entries)
+	for _, key := range order {
+		fmt.Printf("== %s\n\n", key)
+		rows := make([][]string, 0, len(groups[key]))
+		for _, e := range groups[key] {
+			rows = append(rows, []string{
+				orDash(e.Time), formatFloat(float64(e.States)),
+				fmt.Sprintf("%.0f", e.StatesPerSec), fmt.Sprintf("%.3gs", e.WallSeconds),
+				orDash(e.Outcome), phaseSummary(e.Phases),
+			})
+		}
+		fmt.Print(trace.Table([]string{"time", "states", "states/sec", "wall", "outcome", "phases"}, rows))
+		fmt.Println()
+	}
+	regs := trendRegressions(entries, threshold)
+	if len(regs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(regs))
+	for i, r := range regs {
+		msgs[i] = fmt.Sprintf("%s: latest %.0f states/sec vs median %.0f over %d prior runs (threshold %.0f%%)",
+			r.Key, r.Latest, r.Median, r.Priors, 100*threshold)
+	}
+	return exitcode.WithCode(exitcode.Regression,
+		fmt.Errorf("throughput regression:\n  %s", strings.Join(msgs, "\n  ")))
+}
+
+// loadTrend reads one history file: a report JSON becomes one entry
+// (when it has sweep totals), anything else is read as a ledger.
+func loadTrend(path string) ([]ledger.Entry, error) {
+	if rep, err := obs.ReadReportFile(path); err == nil && len(rep.Sections) > 0 {
+		if e, ok := ledger.FromReport(rep); ok {
+			return []ledger.Entry{e}, nil
+		}
+		return nil, nil
+	}
+	return ledger.Read(path)
+}
+
+// groupEntries buckets entries by configuration key, preserving the
+// order keys first appear.
+func groupEntries(entries []ledger.Entry) (map[string][]ledger.Entry, []string) {
+	groups := map[string][]ledger.Entry{}
+	var order []string
+	for _, e := range entries {
+		k := e.Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+	return groups, order
+}
+
+// trendRegression describes one trajectory whose latest run fell below
+// the threshold fraction of its historical median throughput.
+type trendRegression struct {
+	Key    string
+	Latest float64
+	Median float64
+	Priors int
+}
+
+// trendRegressions flags trajectories whose latest states/sec dropped
+// below threshold × median of the earlier successful runs. A trajectory
+// needs at least two comparable priors — a single prior says nothing
+// about variance. A threshold of 0 disables the check.
+func trendRegressions(entries []ledger.Entry, threshold float64) []trendRegression {
+	if threshold <= 0 {
+		return nil
+	}
+	groups, order := groupEntries(entries)
+	var out []trendRegression
+	for _, key := range order {
+		es := groups[key]
+		latest := es[len(es)-1]
+		if latest.StatesPerSec <= 0 {
+			continue
+		}
+		var rates []float64
+		for _, e := range es[:len(es)-1] {
+			if e.StatesPerSec > 0 && (e.Outcome == "" || e.Outcome == "ok") {
+				rates = append(rates, e.StatesPerSec)
+			}
+		}
+		if len(rates) < 2 {
+			continue
+		}
+		m := median(rates)
+		if latest.StatesPerSec < threshold*m {
+			out = append(out, trendRegression{Key: key, Latest: latest.StatesPerSec, Median: m, Priors: len(rates)})
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// phaseSummary renders the three largest phase timings compactly.
+func phaseSummary(phases map[string]float64) string {
+	if len(phases) == 0 {
+		return "-"
+	}
+	type kv struct {
+		k string
+		v float64
+	}
+	all := make([]kv, 0, len(phases))
+	for k, v := range phases {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if len(all) > 3 {
+		all = all[:3]
+	}
+	parts := make([]string, len(all))
+	for i, p := range all {
+		parts[i] = fmt.Sprintf("%s=%.3gs", p.k, p.v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

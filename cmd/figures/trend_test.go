@@ -1,0 +1,128 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"anonshm/internal/exitcode"
+	"anonshm/internal/obs"
+	"anonshm/internal/obs/ledger"
+)
+
+func entry(rate float64, outcome string) ledger.Entry {
+	return ledger.Entry{
+		Tool: "anonexplore", Check: "safety",
+		Config: map[string]any{"engine": "dfs", "inputs": "a,b"},
+		States: int64(rate * 2), WallSeconds: 2,
+		StatesPerSec: rate, Outcome: outcome,
+	}
+}
+
+// TestTrendFlagsInjectedRegression is the acceptance check: three
+// healthy runs around 1000 states/sec followed by one at half that rate
+// must be flagged at the default 0.5 threshold.
+func TestTrendFlagsInjectedRegression(t *testing.T) {
+	entries := []ledger.Entry{
+		entry(1000, "ok"), entry(1100, "ok"), entry(1050, "ok"),
+		entry(500, "ok"), // injected 2× slowdown
+	}
+	regs := trendRegressions(entries, 0.5)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the injected one", regs)
+	}
+	if regs[0].Latest != 500 || regs[0].Median != 1050 || regs[0].Priors != 3 {
+		t.Errorf("regression = %+v, want latest=500 median=1050 priors=3", regs[0])
+	}
+}
+
+func TestTrendHealthyAndEdgeCases(t *testing.T) {
+	healthy := []ledger.Entry{entry(1000, "ok"), entry(1100, "ok"), entry(980, "ok")}
+	if regs := trendRegressions(healthy, 0.5); len(regs) != 0 {
+		t.Errorf("healthy trajectory flagged: %+v", regs)
+	}
+	// One prior is not enough history to call anything a regression.
+	short := []ledger.Entry{entry(1000, "ok"), entry(100, "ok")}
+	if regs := trendRegressions(short, 0.5); len(regs) != 0 {
+		t.Errorf("single-prior trajectory flagged: %+v", regs)
+	}
+	// Failed runs are excluded from the baseline: a slow "stalled" run
+	// must not drag the median down and mask a real regression.
+	mixed := []ledger.Entry{entry(1000, "ok"), entry(10, "stalled"), entry(1100, "ok"), entry(400, "ok")}
+	if regs := trendRegressions(mixed, 0.5); len(regs) != 1 {
+		t.Errorf("regression masked by failed-run baseline: %+v", regs)
+	}
+	// Threshold 0 disables the check entirely.
+	if regs := trendRegressions([]ledger.Entry{entry(1000, "ok"), entry(1100, "ok"), entry(1, "ok")}, 0); len(regs) != 0 {
+		t.Errorf("disabled check still flagged: %+v", regs)
+	}
+	// Different configs never share a trajectory.
+	other := entry(10, "ok")
+	other.Config = map[string]any{"engine": "bfs", "inputs": "a,b"}
+	split := []ledger.Entry{entry(1000, "ok"), entry(1100, "ok"), other}
+	if regs := trendRegressions(split, 0.5); len(regs) != 0 {
+		t.Errorf("cross-config comparison: %+v", regs)
+	}
+}
+
+// TestLoadTrendSniffsFormats: a path may be a JSONL ledger or a single
+// report file; both must load, and the report-derived entry must group
+// with live ledger entries of the same invocation.
+func TestLoadTrendSniffsFormats(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "runs.jsonl")
+	for _, e := range []ledger.Entry{entry(1000, "ok"), entry(1100, "ok")} {
+		if err := ledger.Append(ledgerPath, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := loadTrend(ledgerPath)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ledger load = %d entries, err %v", len(got), err)
+	}
+
+	rep := obs.NewReport("anonexplore", []string{"-check", "safety", "-inputs", "a,b", "-engine", "dfs"})
+	rep.Section("check", map[string]any{"check": "safety"})
+	rep.Section("sweep", map[string]any{
+		"wirings": 2.0, "totalStates": 2000.0, "totalEdges": 8000.0,
+		"wallSeconds": 2.0, "statesPerSec": 1000.0,
+	})
+	repPath := filepath.Join(dir, "BENCH_test.json")
+	if err := rep.WriteFile(repPath); err != nil {
+		t.Fatal(err)
+	}
+	fromRep, err := loadTrend(repPath)
+	if err != nil || len(fromRep) != 1 {
+		t.Fatalf("report load = %d entries, err %v", len(fromRep), err)
+	}
+	if fromRep[0].StatesPerSec != 1000 || fromRep[0].Check != "safety" {
+		t.Errorf("report entry = %+v", fromRep[0])
+	}
+
+	live := ledger.Entry{Tool: "anonexplore", Check: "safety",
+		Config: ledger.ConfigFromArgs([]string{"-check", "safety", "-inputs", "a,b", "-engine", "dfs", "-report", "x.json"})}
+	if live.Key() != fromRep[0].Key() {
+		t.Errorf("live ledger entry and report entry of the same invocation do not group:\n%q\n%q",
+			live.Key(), fromRep[0].Key())
+	}
+}
+
+// TestRunTrendExitCode: the regression error must carry the dedicated
+// exit code so CI can soft-fail on it explicitly.
+func TestRunTrendExitCode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	for _, e := range []ledger.Entry{entry(1000, "ok"), entry(1100, "ok"), entry(400, "ok")} {
+		if err := ledger.Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := runTrend([]string{path}, 0.5)
+	if err == nil {
+		t.Fatal("regressed ledger produced no error")
+	}
+	if code := exitcode.Code(err); code != exitcode.Regression {
+		t.Fatalf("exit code = %d, want %d", code, exitcode.Regression)
+	}
+	if err := runTrend([]string{path}, 0); err != nil {
+		t.Fatalf("disabled threshold still errored: %v", err)
+	}
+}

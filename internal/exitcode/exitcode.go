@@ -5,13 +5,18 @@
 //	1  operational error — the run could not complete
 //	2  usage or configuration error
 //	3  invariant violated — the run produced a counterexample
+//	4  performance regression — figures -trend found a run below threshold
+//	5  stalled — the explore watchdog aborted a run making no progress
 //
 // The distinct counterexample status lets scripts and CI distinguish
 // "the check ran and found a violation" (actionable: the model is
 // broken, read the trace) from "the check could not run" (actionable:
 // fix the invocation or environment). Both binaries print a one-line
 // "invariant violated: ..." summary on stderr before exiting with 3;
-// multi-line counterexample traces stay on stdout.
+// multi-line counterexample traces stay on stdout. Codes 4 and 5 give
+// the same script-visible distinction to the observability layer: a
+// trend regression is not a broken model, and a watchdog abort leaves
+// profile artifacts to read rather than a counterexample.
 package exitcode
 
 import (
@@ -22,10 +27,12 @@ import (
 
 // Process exit codes.
 const (
-	OK        = 0
-	Error     = 1
-	Usage     = 2
-	Violation = 3
+	OK         = 0
+	Error      = 1
+	Usage      = 2
+	Violation  = 3
+	Regression = 4
+	Stalled    = 5
 )
 
 // ViolationError marks an error as a counterexample to a named model
@@ -49,12 +56,41 @@ func Violated(invariant string, err error) error {
 	return &ViolationError{Invariant: invariant, Err: err}
 }
 
-// Code maps an error to the process exit code: nil is OK, a
-// ViolationError anywhere in the chain is Violation, anything else is
-// Error.
+// Coded pins an explicit exit code onto an error chain. WithCode builds
+// one; Code honors the innermost-wrapping Coded found first, so a
+// watchdog stall (5) or trend regression (4) survives further wrapping.
+type Coded struct {
+	ExitCode int
+	Err      error
+}
+
+func (c *Coded) Error() string {
+	if c.Err == nil {
+		return fmt.Sprintf("exit code %d", c.ExitCode)
+	}
+	return c.Err.Error()
+}
+
+func (c *Coded) Unwrap() error { return c.Err }
+
+// WithCode wraps err so Code(err) returns code. A nil err returns nil.
+func WithCode(code int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Coded{ExitCode: code, Err: err}
+}
+
+// Code maps an error to the process exit code: nil is OK, an explicit
+// Coded wrapper wins, a ViolationError anywhere in the chain is
+// Violation, anything else is Error.
 func Code(err error) int {
 	if err == nil {
 		return OK
+	}
+	var c *Coded
+	if errors.As(err, &c) {
+		return c.ExitCode
 	}
 	var v *ViolationError
 	if errors.As(err, &v) {

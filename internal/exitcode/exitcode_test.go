@@ -23,6 +23,34 @@ func TestCode(t *testing.T) {
 	}
 }
 
+func TestWithCode(t *testing.T) {
+	if WithCode(Stalled, nil) != nil {
+		t.Error("WithCode(nil) should be nil")
+	}
+	stalled := WithCode(Stalled, errors.New("no progress for 30s"))
+	if Code(stalled) != Stalled {
+		t.Errorf("Code(stalled) = %d, want %d", Code(stalled), Stalled)
+	}
+	if Code(fmt.Errorf("sweep: %w", stalled)) != Stalled {
+		t.Error("wrapped Coded should keep its code")
+	}
+	reg := WithCode(Regression, errors.New("states/sec below median"))
+	if Code(reg) != Regression {
+		t.Errorf("Code(regression) = %d, want %d", Code(reg), Regression)
+	}
+	// An explicit code wins over a violation deeper in the chain.
+	mixed := WithCode(Stalled, Violated("wait-freedom", nil))
+	if Code(mixed) != Stalled {
+		t.Errorf("Code(coded violation) = %d, want %d", Code(mixed), Stalled)
+	}
+	if Summary(stalled) != "no progress for 30s" {
+		t.Errorf("Summary = %q", Summary(stalled))
+	}
+	if (&Coded{ExitCode: 5}).Error() != "exit code 5" {
+		t.Errorf("bare Coded Error() = %q", (&Coded{ExitCode: 5}).Error())
+	}
+}
+
 func TestSummaryIsOneLine(t *testing.T) {
 	v := Violated("wait-freedom", fmt.Errorf("cycle found\ntrace:\n step 1\n step 2"))
 	s := Summary(v)

@@ -3,12 +3,14 @@ package explore
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"anonshm/internal/canon"
 	"anonshm/internal/consensus"
 	"anonshm/internal/core"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/obs/span"
 	"anonshm/internal/store"
 	"anonshm/internal/view"
 )
@@ -117,6 +119,16 @@ type SnapshotConfig struct {
 	// Events, when set, receives engine.start/engine.finish events for
 	// every per-wiring run.
 	Events *obs.Sink
+	// Trace, when set, records the sweep as Chrome trace_event spans:
+	// one "sweep" span over the whole check, one "wiring" span per
+	// wiring, plus the per-run engine/store/checkpoint phases (see
+	// Options.Trace).
+	Trace *span.Tracer
+	// StallAfter/StallAbort/StallDir arm the per-run stall watchdog (see
+	// Options.StallAfter).
+	StallAfter time.Duration
+	StallAbort bool
+	StallDir   string
 	// Store selects the state-store tier for every per-wiring run:
 	// store.Mem (default, everything in RAM) or store.Disk (bounded hot
 	// set, overflow spilled to sorted runs; see Options.Store).
@@ -166,6 +178,10 @@ func (c SnapshotConfig) options() Options {
 		ProgressEvery: c.ProgressEvery,
 		Obs:           c.Obs,
 		Events:        c.Events,
+		Trace:         c.Trace,
+		StallAfter:    c.StallAfter,
+		StallAbort:    c.StallAbort,
+		StallDir:      c.StallDir,
 		Store:         c.Store,
 		StoreDir:      c.StoreDir,
 		MemLimit:      c.MemLimit,
@@ -484,6 +500,14 @@ type ConsensusConfig struct {
 	Obs *obs.Registry
 	// Events, when set, receives engine.start/engine.finish events.
 	Events *obs.Sink
+	// Trace, when set, records sweep/wiring/run spans (see
+	// SnapshotConfig.Trace).
+	Trace *span.Tracer
+	// StallAfter/StallAbort/StallDir arm the per-run stall watchdog (see
+	// Options.StallAfter).
+	StallAfter time.Duration
+	StallAbort bool
+	StallDir   string
 	// Store, StoreDir, and MemLimit select the state-store tier of every
 	// per-wiring run (see SnapshotConfig).
 	Store    store.Kind
@@ -504,7 +528,15 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 	for _, v := range c.Inputs {
 		valid[v] = true
 	}
+	sweepSpan := c.Trace.StartArgs("sweep", "sweep consensus",
+		map[string]any{"check": "consensus"})
+	defer sweepSpan.End()
+	wiringIdx := 0
 	err := forEachWiring(n, n, WiringOptions{Filter: c.Wirings, Groups: c.Inputs}, func(perms [][]int) error {
+		wsp := c.Trace.StartArgs("wiring", fmt.Sprintf("wiring %d", wiringIdx),
+			map[string]any{"wiring": wiringIdx})
+		defer wsp.End()
+		wiringIdx++
 		sys, in, err := consensus.NewSystem(consensus.Config{Inputs: c.Inputs, Wirings: perms})
 		if err != nil {
 			return err
@@ -553,6 +585,10 @@ func CheckConsensusBounded(c ConsensusConfig) (SweepResult, error) {
 			Prune:         prune,
 			Obs:           c.Obs,
 			Events:        c.Events,
+			Trace:         c.Trace,
+			StallAfter:    c.StallAfter,
+			StallAbort:    c.StallAbort,
+			StallDir:      c.StallDir,
 			Store:         c.Store,
 			StoreDir:      c.StoreDir,
 			MemLimit:      c.MemLimit,

@@ -182,7 +182,9 @@ func Run(init *machine.System, opts Options) (Result, error) {
 		initFP = fmt.Sprintf("%016x", hasher.Fingerprint(init.Clone(), opts.InitAux))
 	}
 	if opts.Resume != "" {
+		sp := opts.Trace.Start("checkpoint.resume", "load checkpoint")
 		ck, err := store.LoadCheckpoint(opts.Resume)
+		sp.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("explore: %w", err)
 		}
@@ -198,6 +200,7 @@ func Run(init *machine.System, opts Options) (Result, error) {
 		MemLimit: opts.MemLimit,
 		Root:     init,
 		Workers:  nw,
+		Trace:    opts.Trace,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("explore: %w", err)
@@ -209,7 +212,10 @@ func Run(init *machine.System, opts Options) (Result, error) {
 	}
 	defer visited.Close()
 	if opts.resume != nil {
-		if err := opts.resume.LoadVisited(visited); err != nil {
+		sp := opts.Trace.Start("checkpoint.resume", "load visited set")
+		err := opts.resume.LoadVisited(visited)
+		sp.End()
+		if err != nil {
 			return Result{}, fmt.Errorf("explore: resume: %w", err)
 		}
 	}
@@ -235,9 +241,17 @@ func Run(init *machine.System, opts Options) (Result, error) {
 			opts.ckpt.last = opts.resume.Meta.States
 		}
 	}
+	if opts.ckpt != nil {
+		opts.ckpt.tr = opts.Trace
+	}
 
 	opts = hookObsProgress(opts)
+	wd := startWatchdog(&opts)
+	defer wd.stop()
 	emitEngineStart(opts.Events, engine, opts.Workers)
+	runSpan := opts.Trace.StartArgs("run", "engine "+engine.String(),
+		map[string]any{"engine": engine.String(), "workers": opts.Workers})
+	defer runSpan.End()
 
 	//lint:ignore anonlint/determinism wall time feeds only Stats (throughput reporting), never fingerprints, traces or state counts
 	start := time.Now()
@@ -252,6 +266,7 @@ func Run(init *machine.System, opts Options) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("explore: unknown engine %v", opts.Engine)
 	}
+	err = wd.stallError(err)
 	res.Stats.Engine = engine
 	if res.Stats.Workers == 0 {
 		res.Stats.Workers = 1

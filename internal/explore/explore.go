@@ -60,10 +60,12 @@ package explore
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"anonshm/internal/canon"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/obs/span"
 	"anonshm/internal/store"
 )
 
@@ -138,6 +140,22 @@ type Options struct {
 	// Events, when set, receives engine.start/engine.finish JSONL events
 	// describing the run.
 	Events *obs.Sink
+	// Trace, when set, records the run as Chrome trace_event spans: the
+	// engine run itself, checkpoint writes/resumes, and (propagated into
+	// the store config) spill/compaction/replay phases. Nil disables
+	// tracing; instrumented call sites are ~ns no-ops.
+	Trace *span.Tracer
+	// StallAfter arms the stall watchdog: when no Progress callback
+	// advances the discovered-state count for this long, the watchdog
+	// emits a watchdog.stall event/trace instant, dumps goroutine and
+	// heap profiles into StallDir, and — with StallAbort — cancels the
+	// run, which then returns ErrStalled (exit code 5 in the binaries).
+	// Zero disables the watchdog.
+	StallAfter time.Duration
+	// StallAbort upgrades a detected stall from diagnosis to abort.
+	StallAbort bool
+	// StallDir is where stall profiles land ("" = current directory).
+	StallDir string
 	// Store selects the state-storage tier: store.Mem (the default)
 	// keeps the visited set and frontier fully in RAM; store.Disk bounds
 	// RAM by MemLimit and spills fingerprint runs and frontier path

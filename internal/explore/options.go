@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"anonshm/internal/machine"
+	"anonshm/internal/obs/span"
 	"anonshm/internal/store"
 )
 
@@ -110,6 +111,7 @@ type ckptState struct {
 	meta  store.Meta // identity fields only
 	last  int64      // states at the previous checkpoint
 	st    *store.Store
+	tr    *span.Tracer
 }
 
 // due reports whether a periodic checkpoint should be written at the
@@ -126,7 +128,11 @@ func (c *ckptState) write(meta store.Meta, v store.VisitedSet, frontier []store.
 	meta.Symmetry = c.meta.Symmetry
 	meta.InitFP = c.meta.InitFP
 	meta.MaxCrashes = c.meta.MaxCrashes
-	if err := store.WriteCheckpoint(c.dir, meta, v, frontier); err != nil {
+	sp := c.tr.StartArgs("checkpoint.write", "write checkpoint",
+		map[string]any{"states": states, "frontier": len(frontier)})
+	err := store.WriteCheckpoint(c.dir, meta, v, frontier)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	c.last = states

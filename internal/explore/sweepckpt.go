@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"anonshm/internal/obs"
 	"anonshm/internal/store"
 )
 
@@ -95,7 +96,9 @@ func loadSweepCheckpoint(c SnapshotConfig, check string) (*sweepCheckpoint, erro
 	return &sc, nil
 }
 
-// writeSweepCheckpoint atomically rewrites <dir>/sweep.json.
+// writeSweepCheckpoint atomically rewrites <dir>/sweep.json — through
+// the shared fsync+rename helper, so a kill mid-rewrite cannot leave a
+// torn sweep.json that would poison the next resume.
 func writeSweepCheckpoint(dir string, sc sweepCheckpoint) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("explore: sweep checkpoint: %w", err)
@@ -104,11 +107,7 @@ func writeSweepCheckpoint(dir string, sc sweepCheckpoint) error {
 	if err != nil {
 		return fmt.Errorf("explore: sweep checkpoint: %w", err)
 	}
-	tmp := sweepMetaPath(dir) + ".tmp"
-	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
-		return fmt.Errorf("explore: sweep checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, sweepMetaPath(dir)); err != nil {
+	if err := obs.WriteFileAtomic(sweepMetaPath(dir), append(blob, '\n'), 0o644); err != nil {
 		return fmt.Errorf("explore: sweep checkpoint: %w", err)
 	}
 	return nil
@@ -119,6 +118,10 @@ func writeSweepCheckpoint(dir string, sc sweepCheckpoint) error {
 // engine support. body receives fully-assembled per-run Options and must
 // call Run with them.
 func (c SnapshotConfig) runSweep(check string, sweep *SweepResult, body func(perms [][]int, opts Options) (Result, error)) error {
+	sweepSpan := c.Trace.StartArgs("sweep", "sweep "+check,
+		map[string]any{"check": check, "engine": c.engine().String(),
+			"symmetry": c.Symmetry.Canonicalizer().String()})
+	defer sweepSpan.End()
 	var resume *sweepCheckpoint
 	if c.Resume != "" {
 		sc, err := loadSweepCheckpoint(c, check)
@@ -155,7 +158,10 @@ func (c SnapshotConfig) runSweep(check string, sweep *SweepResult, body func(per
 				opts.Resume = sweepRunDir(c.Resume)
 			}
 		}
+		wsp := c.Trace.StartArgs("wiring", fmt.Sprintf("wiring %d", i),
+			map[string]any{"wiring": i})
 		res, err := body(perms, opts)
+		wsp.End()
 		sweep.accumulate(res)
 		if err != nil {
 			return err

@@ -79,6 +79,55 @@ func (h *Histogram) snapshot() (count int64, sum float64, buckets []BucketCount)
 	return count, sum, buckets
 }
 
+// Quantile estimates the q-quantile (clamped to [0, 1]) from the
+// bucket counts by linear interpolation inside the owning bucket — the
+// same estimate Prometheus's histogram_quantile computes, so its
+// resolution is the bucket width, not the raw observations. It is safe
+// to call concurrently with Observe; counts racing in mid-read shift
+// the estimate by at most their own weight. Returns NaN for a nil or
+// empty histogram, and the largest finite bound when the quantile
+// falls in the +Inf overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			break // overflow bucket
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		if c == 0 {
+			return upper
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExpBuckets returns n exponentially-spaced bucket bounds starting at
 // start and multiplying by factor — the usual shape for latencies
 // (e.g. ExpBuckets(1e-4, 10, 8) spans 100µs to 1000s).

@@ -1,0 +1,135 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"anonshm/internal/obs"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "runs.jsonl")
+	entries := []Entry{
+		{Tool: "anonexplore", Check: "safety",
+			Config:  map[string]any{"engine": "dfs", "symmetry": "full"},
+			Wirings: 4, States: 1000, Edges: 4000, WallSeconds: 2,
+			StatesPerSec: 500,
+			Phases:       map[string]float64{"sweep": 1.9, "wiring": 1.7},
+			Outcome:      "ok"},
+		{Tool: "anonexplore", Check: "safety",
+			Config: map[string]any{"engine": "dfs", "symmetry": "full"},
+			States: 1100, StatesPerSec: 520,
+			Outcome: "ok"},
+	}
+	for _, e := range entries {
+		if err := Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries, want 2", len(got))
+	}
+	if got[0].States != 1000 || got[1].States != 1100 {
+		t.Fatalf("states = %d, %d", got[0].States, got[1].States)
+	}
+	if got[0].Time == "" {
+		t.Fatal("Append did not stamp Time")
+	}
+	if got[0].Phases["wiring"] != 1.7 {
+		t.Fatalf("phases lost: %v", got[0].Phases)
+	}
+	if got[0].Key() != got[1].Key() {
+		t.Fatalf("same config, different keys:\n%q\n%q", got[0].Key(), got[1].Key())
+	}
+}
+
+func TestReadMissingFileIsEmpty(t *testing.T) {
+	got, err := Read(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing ledger: entries=%v err=%v", got, err)
+	}
+}
+
+// TestReadSkipsTornLine: a damaged or half-written line must not take
+// the rest of the history with it.
+func TestReadSkipsTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	content := `{"tool":"anonexplore","states":10}
+{"tool":"anonexplore","sta
+{"tool":"anonexplore","states":30}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].States != 10 || got[1].States != 30 {
+		t.Fatalf("torn read = %+v", got)
+	}
+	// Appending after damage keeps the parseable history.
+	if err := Append(path, Entry{Tool: "anonexplore", States: 40}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].States != 40 {
+		t.Fatalf("append after damage = %+v", got)
+	}
+}
+
+func TestKeyDistinguishesConfigs(t *testing.T) {
+	a := Entry{Tool: "anonexplore", Check: "safety",
+		Config: map[string]any{"engine": "dfs"}}
+	b := Entry{Tool: "anonexplore", Check: "safety",
+		Config: map[string]any{"engine": "bfs"}}
+	c := Entry{Tool: "anonexplore", Check: "waitfree",
+		Config: map[string]any{"engine": "dfs"}}
+	if a.Key() == b.Key() || a.Key() == c.Key() {
+		t.Fatalf("keys collide: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+}
+
+func TestFromReport(t *testing.T) {
+	rep := obs.NewReport("anonexplore", []string{
+		"-check", "safety", "-inputs", "a,b", "-engine", "dfs",
+		"-symmetry=full", "-report", "BENCH_dfs.json",
+	})
+	rep.Section("check", map[string]any{"check": "safety"})
+	rep.Section("sweep", map[string]any{
+		"wirings": float64(4), "totalStates": float64(6040),
+		"totalEdges": float64(24000), "wallSeconds": 1.5,
+		"statesPerSec": 4026.0,
+	})
+	e, ok := FromReport(rep)
+	if !ok {
+		t.Fatal("FromReport rejected a sweep report")
+	}
+	if e.States != 6040 || e.Wirings != 4 || e.Check != "safety" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Config["engine"] != "dfs" || e.Config["symmetry"] != "full" {
+		t.Fatalf("config = %v", e.Config)
+	}
+	if _, ok := e.Config["report"]; ok {
+		t.Fatal("non-config flag leaked into Config")
+	}
+	if e.StatesPerSec != 4026.0 {
+		t.Fatalf("statesPerSec = %v", e.StatesPerSec)
+	}
+
+	// Reports without sweep totals (e.g. anonsim run reports) are
+	// rejected rather than producing zero-rate entries.
+	empty := obs.NewReport("anonsim", nil)
+	if _, ok := FromReport(empty); ok {
+		t.Fatal("FromReport accepted a report with no sweep section")
+	}
+}

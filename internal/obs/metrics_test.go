@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// metricsGolden is the exact /metrics payload for the registry built in
+// TestMetricsHandlerGolden. The JSON shape (field order, indentation,
+// bucket rendering, identity sort) is load-bearing: report files embed
+// the same MetricPoint encoding, and external dashboards parse it.
+const metricsGolden = `[
+  {
+    "name": "explore_live_states",
+    "kind": "gauge",
+    "value": 2.5
+  },
+  {
+    "name": "explore_states_total",
+    "labels": {
+      "engine": "dfs"
+    },
+    "kind": "counter",
+    "value": 3
+  },
+  {
+    "name": "op_seconds",
+    "kind": "histogram",
+    "value": 0,
+    "count": 3,
+    "sum": 4.75,
+    "buckets": [
+      {
+        "le": "0.5",
+        "count": 2
+      },
+      {
+        "le": "2",
+        "count": 2
+      },
+      {
+        "le": "+Inf",
+        "count": 3
+      }
+    ]
+  }
+]
+`
+
+func TestMetricsHandlerGolden(t *testing.T) {
+	reg := New()
+	reg.Counter("explore_states_total", L("engine", "dfs")).Add(3)
+	reg.Gauge("explore_live_states").Set(2.5)
+	h := reg.Histogram("op_seconds", []float64{0.5, 2})
+	// Binary-exact values so the sum renders without float noise.
+	h.Observe(0.25)
+	h.Observe(0.5) // bucket bounds are inclusive
+	h.Observe(4)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != metricsGolden {
+		t.Errorf("/metrics payload drifted from golden:\n--- got ---\n%s--- want ---\n%s", body, metricsGolden)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3, 4})
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0},          // rank 0 interpolates to the first bucket's lower edge
+		{0.25, 1},       // rank 1 = all of bucket (0,1]
+		{0.5, 2},        // rank 2 = through bucket (1,2]
+		{0.75, 3},       // rank 3
+		{1, 4},          // rank 4
+		{0.375, 1.5},    // half-way into bucket (1,2]
+		{-1, 0}, {2, 4}, // clamped
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Empty and nil histograms have no quantiles.
+	if !math.IsNaN(newHistogram([]float64{1}).Quantile(0.5)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile is not NaN")
+	}
+
+	// Quantiles in the +Inf overflow bucket clamp to the largest bound.
+	over := newHistogram([]float64{1})
+	over.Observe(100)
+	if got := over.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want the largest finite bound 1", got)
+	}
+}
+
+// TestHistogramQuantileConcurrent hammers one histogram from parallel
+// writers while readers take quantiles, then checks the converged
+// estimates. Run under -race (make race covers this package) this
+// doubles as the data-race check for Observe/Quantile/snapshot.
+func TestHistogramQuantileConcurrent(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("q_test", []float64{0.25, 0.5, 0.75, 1})
+	const writers = 8
+	const perWriter = 4000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Deterministic uniform spread over (0, 1].
+				h.Observe(float64(i%1000+1) / 1000)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if q := h.Quantile(0.5); !math.IsNaN(q) && (q < 0 || q > 1) {
+					t.Errorf("mid-flight median %v outside the observed range", q)
+					return
+				}
+				reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if h.Count() != writers*perWriter {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	// Uniform on (0,1]: every quartile estimate must land on its bucket
+	// boundary (the distribution fills each bucket evenly).
+	for _, c := range []struct{ q, want float64 }{{0.25, 0.25}, {0.5, 0.5}, {0.75, 0.75}, {1, 1}} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 0.01 {
+			t.Errorf("converged Quantile(%v) = %v, want ≈%v", c.q, got, c.want)
+		}
+	}
+}

@@ -42,14 +42,16 @@ func (rep *Report) AddMetrics(reg *Registry) {
 	rep.Metrics = append(rep.Metrics, reg.Snapshot()...)
 }
 
-// WriteFile writes the report as indented JSON to path.
+// WriteFile writes the report as indented JSON to path, atomically —
+// an interrupted run leaves either the previous report or the new one,
+// never a truncated file that would poison `figures -load`/`-trend`.
 func (rep *Report) WriteFile(path string) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: marshal report: %w", err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := WriteFileAtomic(path, data, 0o644); err != nil {
 		return fmt.Errorf("obs: write report: %w", err)
 	}
 	return nil

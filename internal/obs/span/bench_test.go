@@ -1,0 +1,47 @@
+package span
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkSpanDisabled pins the cost of an instrumented call site when
+// tracing is off: a nil tracer hands out nil spans, so Start+End must
+// stay in the same ~sub-nanosecond class as obs' disabled handles. This
+// is the contract that lets hot loops (runtime ops, store spills) keep
+// their spans unconditionally.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("runtime.op", "read").End()
+	}
+}
+
+func BenchmarkSpanDisabledInstant(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant("sched.crash", "crash", nil)
+	}
+}
+
+// BenchmarkSpanCollect measures the aggregate-only mode used when just
+// the ledger's phase breakdown is wanted (two clock reads + map add).
+func BenchmarkSpanCollect(b *testing.B) {
+	tr := Collect()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("runtime.op", "read").End()
+	}
+}
+
+// BenchmarkSpanWrite measures a full event emission to a discarded
+// writer — the enabled-tracing cost per span.
+func BenchmarkSpanWrite(b *testing.B) {
+	tr := New(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("runtime.op", "read").End()
+	}
+}

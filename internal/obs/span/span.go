@@ -1,0 +1,303 @@
+// Package span is the repository's span-tracing layer: hierarchical
+// timed spans (sweep → wiring → engine run → store phase) serialized in
+// the Chrome trace_event JSON format, so a run's time profile opens
+// directly in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// The package follows the obs design rules — standard library only, and
+// nil is off: every method on a nil *Tracer or nil *Span does nothing,
+// so "tracing disabled" is a nil tracer with no branches at call sites
+// and a no-op cost of about a nanosecond (see BenchmarkSpanDisabled).
+// It is named span (not trace) to avoid colliding with internal/trace,
+// the paper-figure execution recorder.
+//
+// Two construction modes share the API:
+//
+//   - New(w) writes every finished span as one trace_event to w and
+//     aggregates per-category totals;
+//   - Collect() aggregates totals only, writing nothing — what the run
+//     ledger uses to attribute wall time to phases when no -trace file
+//     was requested.
+//
+// Span categories double as the ledger's phase names: "sweep",
+// "wiring", "run", "store.spill", "store.compact", "store.replay",
+// "checkpoint.write", "checkpoint.resume", "runtime.op". Instant events
+// ("sched.crash", "watchdog") mark points in time with no duration.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// event is one Chrome trace_event. Ph "X" is a complete span (ts+dur),
+// "i" an instant, "M" metadata. ts and dur are microseconds relative to
+// the tracer's epoch.
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("g" = global)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects spans. A nil *Tracer is a valid "tracing off" tracer:
+// Start returns a nil *Span and every other method is a no-op. Tracers
+// are safe for concurrent use; the first write error latches (Err) and
+// suppresses further output while totals keep accumulating.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer // nil = aggregate-only (Collect)
+	epoch  time.Time
+	opened bool // header written
+	closed bool
+	events int64
+	err    error
+	totals map[string]time.Duration
+	counts map[string]int64
+}
+
+// New returns a tracer writing Chrome trace_event JSON to w. Call Close
+// when the run ends to terminate the JSON document (Perfetto tolerates a
+// truncated file, but a closed one is valid standalone JSON).
+func New(w io.Writer) *Tracer {
+	t := Collect()
+	t.w = w
+	return t
+}
+
+// Collect returns an aggregate-only tracer: spans are timed and summed
+// into PhaseTotals but no trace file is produced. Used when only the run
+// ledger's phase breakdown is wanted.
+func Collect() *Tracer {
+	return &Tracer{
+		epoch:  time.Now(),
+		totals: make(map[string]time.Duration),
+		counts: make(map[string]int64),
+	}
+}
+
+// Enabled reports whether the tracer records anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span is one in-flight timed operation, created by Start and finished
+// by End. A nil *Span is a no-op.
+type Span struct {
+	t    *Tracer
+	cat  string
+	name string
+	tid  int
+	args map[string]any
+	t0   time.Time
+}
+
+// Start opens a span in category cat. The category is the phase name
+// aggregated in PhaseTotals; name is the human label shown on the trace
+// timeline.
+func (t *Tracer) Start(cat, name string) *Span {
+	return t.StartTID(0, cat, name)
+}
+
+// StartArgs opens a span carrying structured args (rendered by the trace
+// viewer when the span is selected). The map must not be mutated after
+// the call.
+func (t *Tracer) StartArgs(cat, name string, args map[string]any) *Span {
+	sp := t.StartTID(0, cat, name)
+	if sp != nil {
+		sp.args = args
+	}
+	return sp
+}
+
+// StartTID opens a span on logical thread tid. Concurrent spans from
+// different workers should use distinct tids so they render as parallel
+// tracks instead of impossible nesting.
+func (t *Tracer) StartTID(tid int, cat, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, cat: cat, name: name, tid: tid, t0: time.Now()}
+}
+
+// End finishes the span: its duration is added to the category total and
+// (for writing tracers) one complete "X" event is emitted. End on a nil
+// span, or a second End, is a no-op.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	t, d := s.t, time.Since(s.t0)
+	t.mu.Lock()
+	t.totals[s.cat] += d
+	t.counts[s.cat]++
+	t.writeLocked(event{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS: s.t0.Sub(t.epoch).Microseconds(), Dur: d.Microseconds(),
+		TID: s.tid, Args: s.args,
+	})
+	t.mu.Unlock()
+	s.t = nil
+}
+
+// Instant emits a zero-duration global instant event — a point marker on
+// the timeline (crash injections, watchdog stalls). The args map must
+// not be mutated after the call.
+func (t *Tracer) Instant(cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counts[cat]++
+	t.writeLocked(event{
+		Name: name, Cat: cat, Ph: "i", S: "g",
+		TS: time.Since(t.epoch).Microseconds(), Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// writeLocked appends one event to the JSON stream. Caller holds t.mu.
+func (t *Tracer) writeLocked(ev event) {
+	if t.w == nil || t.closed || t.err != nil {
+		return
+	}
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		t.err = fmt.Errorf("span: marshal event: %w", err)
+		return
+	}
+	var prefix string
+	if !t.opened {
+		prefix = "{\"traceEvents\":[\n"
+		t.opened = true
+	} else {
+		prefix = ",\n"
+	}
+	if _, err := io.WriteString(t.w, prefix); err != nil {
+		t.err = fmt.Errorf("span: write: %w", err)
+		return
+	}
+	if _, err := t.w.Write(blob); err != nil {
+		t.err = fmt.Errorf("span: write: %w", err)
+		return
+	}
+	t.events++
+}
+
+// Close terminates the JSON document. Further spans still aggregate into
+// totals but emit nothing. Returns the first write error, if any.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.w == nil {
+		t.closed = true
+		return t.err
+	}
+	if t.err == nil {
+		var footer string
+		if !t.opened {
+			footer = "{\"traceEvents\":[\n]}\n"
+		} else {
+			footer = "\n],\"displayTimeUnit\":\"ms\"}\n"
+		}
+		if _, err := io.WriteString(t.w, footer); err != nil {
+			t.err = fmt.Errorf("span: write: %w", err)
+		}
+	}
+	t.closed = true
+	return t.err
+}
+
+// Err returns the first write/encode error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Events returns how many events were written (0 for nil or Collect).
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// PhaseTotals returns the accumulated duration per span category. The
+// map is a copy; a nil tracer returns nil.
+func (t *Tracer) PhaseTotals() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.totals))
+	for k, v := range t.totals {
+		out[k] = v
+	}
+	return out
+}
+
+// PhaseSeconds returns PhaseTotals in seconds — the run ledger's phase
+// field. Nil for a nil tracer or when no span ever finished.
+func (t *Tracer) PhaseSeconds() map[string]float64 {
+	totals := t.PhaseTotals()
+	if len(totals) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(totals))
+	for k, v := range totals {
+		out[k] = v.Seconds()
+	}
+	return out
+}
+
+// PhaseCounts returns how many spans/instants finished per category.
+func (t *Tracer) PhaseCounts() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the phase totals as one sorted "cat=dur" line, for
+// stderr diagnostics.
+func (t *Tracer) Summary() string {
+	totals := t.PhaseTotals()
+	if len(totals) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", k, totals[k].Round(time.Millisecond))
+	}
+	return out
+}

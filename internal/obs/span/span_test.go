@@ -1,0 +1,267 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerNoOps: every method on a nil tracer and the nil spans it
+// hands out must be safe — this is the "tracing disabled" contract.
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	sp := tr.Start("cat", "name")
+	if sp != nil {
+		t.Fatalf("nil tracer Start = %v, want nil span", sp)
+	}
+	sp.End()
+	tr.StartArgs("cat", "name", map[string]any{"k": 1}).End()
+	tr.StartTID(3, "cat", "name").End()
+	tr.Instant("cat", "mark", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("nil Err: %v", err)
+	}
+	if got := tr.Events(); got != 0 {
+		t.Fatalf("nil Events = %d", got)
+	}
+	if got := tr.PhaseTotals(); got != nil {
+		t.Fatalf("nil PhaseTotals = %v", got)
+	}
+	if got := tr.PhaseSeconds(); got != nil {
+		t.Fatalf("nil PhaseSeconds = %v", got)
+	}
+	if got := tr.Summary(); got != "" {
+		t.Fatalf("nil Summary = %q", got)
+	}
+}
+
+// chromeTrace mirrors the Chrome trace_event container for schema checks.
+type chromeTrace struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+// checkSchema validates the invariants Perfetto relies on: every event
+// has a name, a known phase, a nonnegative ts; complete events carry dur.
+func checkSchema(t *testing.T, data []byte) chromeTrace {
+	t.Helper()
+	var ct chromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	for i, ev := range ct.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X", "i", "M":
+		default:
+			t.Fatalf("event %d: bad phase %q", i, ph)
+		}
+		if name, _ := ev["name"].(string); name == "" {
+			t.Fatalf("event %d: missing name", i)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("event %d: bad ts %v", i, ev["ts"])
+		}
+		if ph == "X" {
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				t.Fatalf("event %d: negative dur %v", i, dur)
+			}
+		}
+		if ph == "i" {
+			if s, _ := ev["s"].(string); s != "g" {
+				t.Fatalf("event %d: instant scope %q, want g", i, s)
+			}
+		}
+	}
+	return ct
+}
+
+func TestEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ct := checkSchema(t, buf.Bytes())
+	if len(ct.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(ct.TraceEvents))
+	}
+}
+
+func TestTraceEventsAndTotals(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+
+	sweep := tr.Start("sweep", "sweep wirings=2")
+	w := tr.StartArgs("wiring", "wiring 0", map[string]any{"wiring": 0})
+	time.Sleep(2 * time.Millisecond)
+	w.End()
+	tr.Instant("sched.crash", "crash p0", map[string]any{"proc": 0})
+	tr.StartTID(5, "runtime.op", "read").End()
+	sweep.End()
+	w.End() // double End must be a no-op
+
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ct := checkSchema(t, buf.Bytes())
+	if len(ct.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4:\n%s", len(ct.TraceEvents), buf.String())
+	}
+	if got := tr.Events(); got != 4 {
+		t.Fatalf("Events = %d, want 4", got)
+	}
+
+	totals := tr.PhaseTotals()
+	if totals["wiring"] < 2*time.Millisecond {
+		t.Fatalf("wiring total %v < slept 2ms", totals["wiring"])
+	}
+	if totals["sweep"] < totals["wiring"] {
+		t.Fatalf("sweep %v < nested wiring %v", totals["sweep"], totals["wiring"])
+	}
+	if _, ok := totals["sched.crash"]; ok {
+		t.Fatal("instant accrued duration")
+	}
+	counts := tr.PhaseCounts()
+	if counts["sched.crash"] != 1 || counts["wiring"] != 1 {
+		t.Fatalf("PhaseCounts = %v", counts)
+	}
+	secs := tr.PhaseSeconds()
+	if secs["wiring"] <= 0 {
+		t.Fatalf("PhaseSeconds[wiring] = %v", secs["wiring"])
+	}
+
+	// Instant scope and tid plumbing.
+	var sawTID5, sawInstant bool
+	for _, ev := range ct.TraceEvents {
+		if ev["cat"] == "runtime.op" && ev["tid"] == float64(5) {
+			sawTID5 = true
+		}
+		if ev["ph"] == "i" && ev["cat"] == "sched.crash" {
+			sawInstant = true
+			args, _ := ev["args"].(map[string]any)
+			if args["proc"] != float64(0) {
+				t.Fatalf("instant args = %v", args)
+			}
+		}
+	}
+	if !sawTID5 || !sawInstant {
+		t.Fatalf("missing tid/instant events:\n%s", buf.String())
+	}
+
+	if s := tr.Summary(); !strings.Contains(s, "sweep=") || !strings.Contains(s, "wiring=") {
+		t.Fatalf("Summary = %q", s)
+	}
+}
+
+// TestCollectAggregatesWithoutOutput: Collect tracers time spans but
+// write nothing — the ledger-only mode.
+func TestCollectAggregatesWithoutOutput(t *testing.T) {
+	tr := Collect()
+	tr.Start("run", "engine").End()
+	if got := tr.Events(); got != 0 {
+		t.Fatalf("Collect wrote %d events", got)
+	}
+	if tr.PhaseTotals()["run"] < 0 {
+		t.Fatal("negative total")
+	}
+	if _, ok := tr.PhaseTotals()["run"]; !ok {
+		t.Fatal("Collect lost the category total")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpansAfterCloseAggregateOnly: a late End after Close must not
+// corrupt the document but still counts toward totals.
+func TestSpansAfterCloseAggregateOnly(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	sp := tr.Start("run", "late")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := buf.Len()
+	sp.End()
+	tr.Instant("watchdog", "stall", nil)
+	if buf.Len() != before {
+		t.Fatalf("events written after Close:\n%s", buf.String())
+	}
+	checkSchema(t, buf.Bytes())
+	if _, ok := tr.PhaseTotals()["run"]; !ok {
+		t.Fatal("post-Close End lost its total")
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShort
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errShort = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "short write" }
+
+func TestWriteErrorLatches(t *testing.T) {
+	tr := New(&errWriter{n: 2}) // header + first event succeed
+	tr.Start("run", "a").End()
+	tr.Start("run", "b").End() // separator write fails
+	if tr.Err() == nil {
+		t.Fatal("write error not latched")
+	}
+	tr.Start("run", "c").End() // must not panic, still aggregates
+	if tr.Close() == nil {
+		t.Fatal("Close lost the latched error")
+	}
+	if got := len(tr.PhaseTotals()); got == 0 {
+		t.Fatal("totals lost after write error")
+	}
+}
+
+// TestConcurrentSpans: the tracer is shared across engine workers; the
+// output must stay valid JSON and totals must count every span.
+func TestConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.StartTID(w, "runtime.op", "op").End()
+				tr.Instant("sched.crash", "crash", nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ct := checkSchema(t, buf.Bytes())
+	if len(ct.TraceEvents) != 2*workers*each {
+		t.Fatalf("got %d events, want %d", len(ct.TraceEvents), 2*workers*each)
+	}
+	if got := tr.PhaseCounts()["runtime.op"]; got != workers*each {
+		t.Fatalf("runtime.op count = %d, want %d", got, workers*each)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"anonshm/internal/anonmem"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/obs/span"
 )
 
 // SharedMemory is a linearizable, fully-anonymous register file safe for
@@ -209,7 +210,21 @@ type Config struct {
 	// CrashSeed seeds the victim choice, crash timing, and the
 	// mid-operation coin; runs with equal seeds pick the same victims.
 	CrashSeed int64
+	// Trace, when non-nil, records sampled per-operation spans: every
+	// TraceSample-th operation of each processor becomes a "runtime.op"
+	// span on the processor's own trace track (tid = processor index),
+	// plus crash instants for injected faults. Nil is free.
+	Trace *span.Tracer
+	// TraceSample is the per-processor op sampling stride (0 =
+	// DefaultTraceSample). 1 traces every operation.
+	TraceSample int
 }
+
+// DefaultTraceSample is the per-operation span sampling stride when
+// tracing is enabled without an explicit Config.TraceSample: sparse
+// enough that a multi-million-op run does not drown the trace file,
+// dense enough to show each processor's pacing.
+const DefaultTraceSample = 64
 
 // Outcome reports a concurrent run.
 type Outcome struct {
@@ -278,6 +293,10 @@ func Run(cfg Config, machines []machine.Machine) (*Outcome, error) {
 		Steps:   make([]int, n),
 		Memory:  sm,
 	}
+	traceSample := cfg.TraceSample
+	if traceSample <= 0 {
+		traceSample = DefaultTraceSample
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, n)
 	for p := 0; p < n; p++ {
@@ -316,9 +335,15 @@ func Run(cfg Config, machines []machine.Machine) (*Outcome, error) {
 					if op.Kind == machine.OpRead || op.Kind == machine.OpWrite {
 						sm.noteCrash(p, op.Reg)
 					}
+					cfg.Trace.Instant("sched.crash", "crash p"+strconv.Itoa(p),
+						map[string]any{"proc": p, "steps": steps})
 					out.Crashed[p] = true
 					out.Steps[p] = steps
 					return
+				}
+				var opSpan *span.Span
+				if cfg.Trace != nil && steps%traceSample == 0 {
+					opSpan = cfg.Trace.StartTID(p, "runtime.op", op.Kind.String())
 				}
 				switch op.Kind {
 				case machine.OpRead:
@@ -329,9 +354,11 @@ func Run(cfg Config, machines []machine.Machine) (*Outcome, error) {
 				case machine.OpOutput:
 					m.Advance(choice, nil)
 				default:
+					opSpan.End()
 					errs[p] = fmt.Errorf("runtime: processor %d: invalid op kind %v", p, op.Kind)
 					return
 				}
+				opSpan.End()
 				steps++
 				if cfg.Yield {
 					goruntime.Gosched()

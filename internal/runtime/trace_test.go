@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"anonshm/internal/core"
+	"anonshm/internal/machine"
+	"anonshm/internal/obs/span"
+	"anonshm/internal/view"
+)
+
+// TestRunTracesSampledOps runs the Figure 3 algorithm with tracing on a
+// stride of 1 and checks every executed op became a span on the owning
+// processor's track, and that an injected crash left its instant.
+func TestRunTracesSampledOps(t *testing.T) {
+	const n = 3
+	in := view.NewInterner()
+	machines := make([]machine.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = core.NewSnapshot(n, n, in.Intern(fmt.Sprintf("v%d", i)), true)
+	}
+	tr := span.Collect()
+	outcome, err := Run(Config{
+		Registers:   n,
+		Initial:     core.EmptyCell,
+		Seed:        7,
+		Crashes:     1,
+		CrashSeed:   11,
+		Trace:       tr,
+		TraceSample: 1,
+	}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps int64
+	for _, s := range outcome.Steps {
+		steps += int64(s)
+	}
+	counts := tr.PhaseCounts()
+	if counts["runtime.op"] != steps {
+		t.Errorf("runtime.op spans = %d, want %d (one per executed op at stride 1)",
+			counts["runtime.op"], steps)
+	}
+	if counts["sched.crash"] != 1 {
+		t.Errorf("sched.crash instants = %d, want 1", counts["sched.crash"])
+	}
+}
+
+// TestRunSamplingStride checks the default stride thins spans rather
+// than dropping them, and that a nil tracer records nothing.
+func TestRunSamplingStride(t *testing.T) {
+	const n = 2
+	in := view.NewInterner()
+	build := func() []machine.Machine {
+		ms := make([]machine.Machine, n)
+		for i := 0; i < n; i++ {
+			ms[i] = core.NewSnapshot(n, n, in.Intern(fmt.Sprintf("v%d", i)), true)
+		}
+		return ms
+	}
+	tr := span.Collect()
+	if _, err := Run(Config{Registers: n, Initial: core.EmptyCell, Trace: tr}, build()); err != nil {
+		t.Fatal(err)
+	}
+	// Stride DefaultTraceSample still catches step 0 of every processor.
+	if got := tr.PhaseCounts()["runtime.op"]; got < n {
+		t.Errorf("sampled spans = %d, want >= %d", got, n)
+	}
+	if _, err := Run(Config{Registers: n, Initial: core.EmptyCell}, build()); err != nil {
+		t.Fatal(err)
+	}
+}

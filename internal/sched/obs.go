@@ -5,6 +5,7 @@ import (
 
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/obs/span"
 )
 
 // This file is the obs-backed observer for simulated runs: it turns the
@@ -37,6 +38,7 @@ import (
 type Instrument struct {
 	reg  *obs.Registry
 	sink *obs.Sink
+	tr   *span.Tracer
 
 	procSteps    []*obs.Counter
 	procCrashes  []*obs.Counter
@@ -62,6 +64,14 @@ func NewInstrument(reg *obs.Registry, sink *obs.Sink) *Instrument {
 		crashOps:  reg.Counter("sched_ops_total", obs.L("op", "crash")),
 		readFrom:  make(map[[2]int]*obs.Counter),
 	}
+}
+
+// WithTrace attaches a span tracer: every injected crash becomes an
+// instant event on the trace timeline, so fault placement is visible
+// alongside the run/op spans. Returns in for chaining; nil is off.
+func (in *Instrument) WithTrace(tr *span.Tracer) *Instrument {
+	in.tr = tr
+	return in
 }
 
 // grow extends a cached handle slice up to index i for family name with
@@ -119,6 +129,8 @@ func (in *Instrument) OnStep(t int, info machine.StepInfo, sys *machine.System) 
 		in.crashOps.Inc()
 		in.procCrashes = in.grow(in.procCrashes, p, "sched_proc_crashes_total", "proc")
 		in.procCrashes[p].Inc()
+		in.tr.Instant("sched.crash", "crash p"+strconv.Itoa(p),
+			map[string]any{"proc": p, "t": t})
 	}
 
 	if in.sink != nil {

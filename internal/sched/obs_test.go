@@ -9,6 +9,7 @@ import (
 	"anonshm/internal/anonmem"
 	"anonshm/internal/machine"
 	"anonshm/internal/obs"
+	"anonshm/internal/obs/span"
 )
 
 // wrm writes its tag to register 0, reads register 0, then outputs —
@@ -109,6 +110,26 @@ func TestInstrumentStepEvents(t *testing.T) {
 	}
 	if second.Fields["op"] != "write" || second.Fields["covering"] != true {
 		t.Errorf("b's covering write not flagged: %v", second.Fields)
+	}
+}
+
+// TestInstrumentCrashInstant checks that an attached tracer receives an
+// instant event per injected crash fault, and that the nil tracer is a
+// no-op.
+func TestInstrumentCrashInstant(t *testing.T) {
+	tr := span.Collect()
+	in := NewInstrument(obs.New(), nil).WithTrace(tr)
+	crash := machine.StepInfo{Proc: 1, Op: machine.Op{Kind: machine.OpCrash}, Global: -1, ReadFrom: -1, PrevWriter: -1}
+	in.OnStep(4, crash, nil)
+	in.OnStep(9, machine.StepInfo{Proc: 0, Op: machine.Op{Kind: machine.OpOutput}, Global: -1, ReadFrom: -1, PrevWriter: -1}, nil)
+	if got := tr.PhaseCounts()["sched.crash"]; got != 1 {
+		t.Errorf("sched.crash instants = %d, want 1", got)
+	}
+	// Untouched tracer: crash accounting still works.
+	in2 := NewInstrument(obs.New(), nil)
+	in2.OnStep(0, crash, nil)
+	if in2.Crashes() != 1 {
+		t.Errorf("crashes = %d, want 1", in2.Crashes())
 	}
 }
 

@@ -246,6 +246,9 @@ func (v *diskVisited) flush() error {
 	if len(recs) == 0 {
 		return nil
 	}
+	sp := v.st.cfg.Trace.StartArgs("store.spill", "visited spill",
+		map[string]any{"records": len(recs)})
+	defer sp.End()
 	run, err := v.newRun(recs)
 	if err != nil {
 		return err
@@ -398,6 +401,9 @@ func (v *diskVisited) mergeStream(includeHot bool) (func() (fpRec, bool, error),
 // compact merges every run (overrides folded in) into one and deletes
 // the inputs.
 func (v *diskVisited) compact() error {
+	sp := v.st.cfg.Trace.StartArgs("store.compact", "k-way compaction",
+		map[string]any{"runs": len(v.runs)})
+	defer sp.End()
 	next, closeAll, err := v.mergeStream(false)
 	if err != nil {
 		return err

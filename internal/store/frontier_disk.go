@@ -74,6 +74,9 @@ func (d *diskFrontier) spillLocked() error {
 	if take == 0 {
 		return nil
 	}
+	sp := d.st.cfg.Trace.StartArgs("store.spill", "frontier spill",
+		map[string]any{"entries": take})
+	defer sp.End()
 	batch := live[:take]
 	path := d.st.segPath()
 	bytes, err := writeSegFile(path, batch)
@@ -97,6 +100,8 @@ func (d *diskFrontier) spillLocked() error {
 // loadLocked reads one segment (oldest for FIFO, newest for LIFO) into
 // the head and deletes its file.
 func (d *diskFrontier) loadLocked() error {
+	sp := d.st.cfg.Trace.Start("store.spill", "frontier load")
+	defer sp.End()
 	var ref segRef
 	if d.order == LIFO {
 		ref = d.segs[len(d.segs)-1]

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 
 	"anonshm/internal/machine"
+	"anonshm/internal/obs/span"
 )
 
 // Kind selects the storage tier. The zero value is Mem.
@@ -166,6 +167,10 @@ type Config struct {
 	// Workers is the number of frontier shards that will be created (for
 	// splitting MemLimit); 0 means 1.
 	Workers int
+	// Trace, when non-nil, records the store's I/O phases as spans:
+	// visited spills and compactions, frontier segment spills/loads, and
+	// sampled path replays. Nil disables tracing at no cost.
+	Trace *span.Tracer
 }
 
 // Entry is one frontier element: a discovered, unexpanded state.
@@ -392,6 +397,11 @@ func (s *Store) NewFrontier(w int, order Order) (Frontier, error) {
 	}
 }
 
+// replaySample thins the per-replay spans: replays are the disk tier's
+// per-pop hot path (millions per run), so only one in replaySample gets
+// an event; totals stay unbiased enough to rank phases.
+const replaySample = 256
+
 // Replay rebuilds e.Sys by replaying e.Path from the root. No-op when
 // Sys is already present.
 func (s *Store) Replay(e *Entry) error {
@@ -400,6 +410,9 @@ func (s *Store) Replay(e *Entry) error {
 	}
 	if s.cfg.Root == nil {
 		return fmt.Errorf("store: cannot replay a spilled entry without Config.Root")
+	}
+	if s.cfg.Trace != nil && s.stats.replays.Load()%replaySample == 0 {
+		defer s.cfg.Trace.Start("store.replay", "path replay").End()
 	}
 	steps := e.Path.Steps()
 	sys := s.cfg.Root.Clone()
