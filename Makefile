@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-report
+.PHONY: build test vet lint race verify bench bench-report fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,16 +29,27 @@ test:
 # sharing; internal/store because its visited table and frontier are the
 # shared mutable state under those workers; internal/obs and its span
 # tracer because metrics, histograms and trace spans are written from
-# all of those goroutines at once. -short skips the N=3 crash spaces,
-# which the plain test target still covers.
+# all of those goroutines at once; cmd/anonsim because the campaign
+# runner's worker pool aggregates per-cell histograms across goroutines.
+# -short skips the N=3 crash spaces and trims the 100-seed zoo sweep,
+# which the plain test target still covers in full.
 race:
-	$(GO) test -race -short ./internal/explore/ ./internal/canon/ ./internal/sched/ ./internal/runtime/ ./internal/store/ ./internal/obs/ ./internal/obs/span/
+	$(GO) test -race -short ./internal/explore/ ./internal/canon/ ./internal/sched/ ./internal/runtime/ ./internal/store/ ./internal/obs/ ./internal/obs/span/ ./cmd/anonsim/
 
 # Extended tier-1 gate: what CI (and ROADMAP.md) require before merge.
 verify: build vet lint test race
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchtime 1x .
+
+# Short coverage-guided runs of the schedule fuzzers (internal/sched
+# fuzz_test.go): fuzzer-chosen schedules cross-checked against the
+# exhaustive explorer as oracle. go test accepts one -fuzz target per
+# invocation, hence two lines. The seed corpora alone run under the
+# plain test target; this target actually mutates for a few seconds.
+fuzz-smoke:
+	$(GO) test ./internal/sched/ -run '^$$' -fuzz FuzzSnapshotSchedule -fuzztime 10s
+	$(GO) test ./internal/sched/ -run '^$$' -fuzz FuzzRenamingSchedule -fuzztime 10s
 
 # Machine-readable benchmark artifacts: one report file per engine with
 # sweep totals, states/sec and the full metrics snapshot, plus the

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"anonshm/internal/exitcode"
+	"anonshm/internal/obs"
+)
+
+func TestSplitCSVAndParseInts(t *testing.T) {
+	if got := splitCSV(" a, ,b,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitCSV = %v", got)
+	}
+	ns, err := parseInts("2,3,4")
+	if err != nil || len(ns) != 3 || ns[2] != 4 {
+		t.Errorf("parseInts = %v, %v", ns, err)
+	}
+	if _, err := parseInts("2,x"); err == nil {
+		t.Error("parseInts accepted garbage")
+	}
+}
+
+func TestCampaignJobsMatrix(t *testing.T) {
+	spec := campaignSpec{
+		algos: []string{"snapshot", "renaming"}, wirings: []string{"identity", "random"},
+		scheds: []string{"rr", "random"}, nsCSV: "2,3", budgets: "auto",
+		seeds: 5, baseSeed: 100,
+	}
+	jobs, err := spec.jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 algos x 2 wirings x 2 scheds x 5 seeds x (2 budgets at n=2 + 3 at n=3).
+	want := 2 * 2 * 2 * 5 * (2 + 3)
+	if len(jobs) != want {
+		t.Fatalf("len(jobs) = %d, want %d", len(jobs), want)
+	}
+	seeds := map[int64]bool{}
+	for _, j := range jobs {
+		if j.budget >= j.n {
+			t.Fatalf("job %s crashes every processor", j.desc())
+		}
+		seeds[j.seed] = true
+	}
+	for s := int64(100); s < 105; s++ {
+		if !seeds[s] {
+			t.Errorf("seed %d missing from the matrix", s)
+		}
+	}
+
+	// Explicit budgets clamp to n-1 and deduplicate.
+	spec.budgets = "0,5,9"
+	spec.nsCSV = "2"
+	jobs, err = spec.jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := map[int]bool{}
+	for _, j := range jobs {
+		budgets[j.budget] = true
+	}
+	if len(budgets) != 2 || !budgets[0] || !budgets[1] {
+		t.Errorf("clamped budgets = %v, want {0, 1}", budgets)
+	}
+
+	spec.nsCSV = ""
+	if _, err := spec.jobs(); err == nil {
+		t.Error("empty -ns accepted")
+	}
+}
+
+func TestRunJobValidSnapshot(t *testing.T) {
+	job := campaignJob{algo: "snapshot", wiring: "random", sch: "mixed", n: 3, m: 3, budget: 1, seed: 7}
+	steps, _, err := runJob(job, true, 0)
+	if err != nil {
+		t.Fatalf("runJob: %v", err)
+	}
+	if steps <= 0 {
+		t.Errorf("steps = %d", steps)
+	}
+}
+
+func TestRunJobRejectsUnknownScheduler(t *testing.T) {
+	job := campaignJob{algo: "snapshot", wiring: "identity", sch: "nope", n: 2, m: 2, seed: 1}
+	if _, _, err := runJob(job, false, 0); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+// TestRunCampaignAggregates runs a miniature campaign and checks the
+// report section: every (algo, sched) cell is present, run counts add
+// up, and no violation or error is reported for the paper's wait-free
+// algorithms.
+func TestRunCampaignAggregates(t *testing.T) {
+	spec := campaignSpec{
+		algos: []string{"snapshot", "renaming"}, wirings: []string{"random"},
+		scheds: []string{"rr", "coverer", "pareto", "mixed"}, nsCSV: "2,3",
+		budgets: "auto", seeds: 4, workers: 4, baseSeed: 1, nondet: true,
+	}
+	reg := obs.New()
+	rep := obs.NewReport("anonsim", nil)
+	if err := runCampaign(spec, reg, rep); err != nil {
+		t.Fatalf("runCampaign: %v", err)
+	}
+	out, ok := rep.Sections["campaign"].(campaignOutcome)
+	if !ok {
+		t.Fatal("no campaign section in the report")
+	}
+	if out.Violations != 0 || out.Errors != 0 {
+		t.Fatalf("clean campaign reported violations=%d errors=%d", out.Violations, out.Errors)
+	}
+	if len(out.Cells) != 8 { // 2 algos x 4 schedulers
+		t.Fatalf("cells = %d, want 8", len(out.Cells))
+	}
+	runs := 0
+	for _, c := range out.Cells {
+		if c.Runs <= 0 || c.StepsMax <= 0 {
+			t.Errorf("degenerate cell %+v", c)
+		}
+		runs += c.Runs
+	}
+	if runs != out.Runs || out.Runs != out.Jobs {
+		t.Errorf("runs: cells=%d summary=%d jobs=%d", runs, out.Runs, out.Jobs)
+	}
+	if out.TotalSteps <= 0 {
+		t.Error("no steps aggregated")
+	}
+}
+
+// TestRunCampaignFlagsNonTermination drives the blocking baseline (not
+// wait-free) under a crash budget: the campaign must classify exhausted
+// step budgets as wait-freedom violations and fail with exit status 3.
+func TestRunCampaignFlagsNonTermination(t *testing.T) {
+	spec := campaignSpec{
+		algos: []string{"blocking"}, wirings: []string{"identity"},
+		scheds: []string{"rr"}, nsCSV: "2", budgets: "1",
+		seeds: 10, workers: 2, baseSeed: 1, steps: 2000,
+	}
+	reg := obs.New()
+	rep := obs.NewReport("anonsim", nil)
+	err := runCampaign(spec, reg, rep)
+	if exitcode.Code(err) != exitcode.Violation {
+		t.Fatalf("blocking campaign err = %v, want violation", err)
+	}
+	if !strings.Contains(err.Error(), "wait-freedom") {
+		t.Errorf("violation not attributed to wait-freedom: %v", err)
+	}
+	out := rep.Sections["campaign"].(campaignOutcome)
+	if out.Violations == 0 || len(out.FirstViolations) == 0 {
+		t.Errorf("summary lost the violations: %+v", out)
+	}
+}
+
+// TestCampaignSeedReproducibility pins the derivation chain job seed ->
+// SplitSeed streams: equal seeds replay identical step counts, so any
+// violating job reproduces under the equivalent single-run flags.
+func TestCampaignSeedReproducibility(t *testing.T) {
+	job := campaignJob{algo: "renaming", wiring: "random", sch: "bursty", n: 3, m: 3, budget: 2, seed: 42}
+	s1, c1, err1 := runJob(job, true, 0)
+	s2, c2, err2 := runJob(job, true, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if s1 != s2 || c1 != c2 {
+		t.Errorf("same job diverged: steps %d/%d crashes %d/%d", s1, s2, c1, c2)
+	}
+}

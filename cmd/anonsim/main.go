@@ -63,7 +63,7 @@ func main() {
 		algo       = flag.String("algo", "snapshot", "algorithm: snapshot | writescan | doublecollect | blocking | renaming | consensus")
 		inputsCSV  = flag.String("inputs", "a,b,c", "comma-separated processor inputs (equal inputs form a group)")
 		registers  = flag.Int("registers", 0, "number of registers M (0 = number of processors)")
-		schedName  = flag.String("sched", "random", "scheduler: rr | random | solo | coverer")
+		schedName  = flag.String("sched", "random", "scheduler: rr | random | solo | coverer | exp | pareto | bursty | starver | mixed")
 		wiring     = flag.String("wiring", "random", "wirings: identity | rotation | random")
 		seed       = flag.Int64("seed", 1, "seed for random wirings/scheduling")
 		steps      = flag.Int("steps", 0, "step budget (0 = generous default)")
@@ -77,6 +77,15 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run")
 		tracePath  = flag.String("trace-file", "", "write a Chrome trace_event JSON trace of the run to this file (load in Perfetto)")
 		ledgerPath = flag.String("ledger", "", "append a run-history entry to this JSONL ledger (conventionally "+ledger.DefaultPath+")")
+
+		campaign     = flag.Bool("campaign", false, "run a Monte-Carlo campaign: sweep seeds x schedulers x N x wirings x crash budgets in parallel, validating every run")
+		campAlgos    = flag.String("algos", "snapshot,renaming", "campaign: comma-separated algorithms to sweep")
+		campNs       = flag.String("ns", "2,3", "campaign: comma-separated processor counts to sweep")
+		campWirings  = flag.String("wirings", "identity,rotation,random", "campaign: comma-separated wirings to sweep")
+		campScheds   = flag.String("schedulers", strings.Join(sched.ZooNames(), ","), "campaign: comma-separated schedulers to sweep")
+		campSeeds    = flag.Int("seeds", 50, "campaign: seeds per cell (run seeds are -seed, -seed+1, ...)")
+		campBudgets  = flag.String("crash-budgets", "auto", "campaign: comma-separated crash budgets, or auto for 0..N-1 at each N")
+		campWorkers  = flag.Int("workers", 0, "campaign: parallel workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	reg := obs.New()
@@ -116,7 +125,19 @@ func main() {
 		trace: tr,
 	}
 	rep := obs.NewReport("anonsim", os.Args[1:])
-	runErr := run(cli, reg, sink, rep)
+	var runErr error
+	if *campaign {
+		spec := campaignSpec{
+			algos: splitCSV(*campAlgos), wirings: splitCSV(*campWirings),
+			scheds: splitCSV(*campScheds), budgets: *campBudgets,
+			nsCSV: *campNs, seeds: *campSeeds, workers: *campWorkers,
+			baseSeed: cli.seed, registers: cli.registers, nondet: cli.nondet,
+			steps: cli.steps, jsonOut: cli.jsonOut, trace: tr,
+		}
+		runErr = runCampaign(spec, reg, rep)
+	} else {
+		runErr = run(cli, reg, sink, rep)
+	}
 	if sink != nil && runErr == nil {
 		runErr = sink.Err()
 	}
@@ -141,8 +162,21 @@ func main() {
 			Config:  ledger.ConfigFromArgs(rep.Args),
 			Outcome: simOutcome(runErr),
 		}
+		if *campaign {
+			e.Check = "campaign"
+		}
 		if out, ok := rep.Sections["run"].(runOutcome); ok {
 			e.Steps = int64(out.Steps)
+			if out.CrashSeed != 0 {
+				// Record the effective crash seed: it is now derived from
+				// -seed by a splitmix64 split (historically seed+1, which
+				// collided with the next seed's scheduler stream), so old
+				// and new entries of one sweep must not share a trajectory.
+				e.Config["crash-seed"] = fmt.Sprint(out.CrashSeed)
+			}
+		}
+		if out, ok := rep.Sections["campaign"].(campaignOutcome); ok {
+			e.Steps = out.TotalSteps
 		}
 		if tr != nil {
 			e.Phases = tr.PhaseSeconds()
@@ -219,12 +253,79 @@ type runOutcome struct {
 	Scheduler  string                 `json:"scheduler"`
 	Wiring     string                 `json:"wiring"`
 	Seed       int64                  `json:"seed"`
+	CrashSeed  int64                  `json:"crashSeed,omitempty"`
 	Steps      int                    `json:"steps"`
 	Crashes    int                    `json:"crashes,omitempty"`
 	Stop       string                 `json:"stop"`
 	AllDone    bool                   `json:"allDone"`
 	Processors []procOutcome          `json:"processors"`
 	Registers  []sched.RegisterAccess `json:"registers"`
+}
+
+// buildSystem wires up the memory and machines of one simulation: the
+// interner, per-processor input IDs, and the system itself. rng drives
+// random wirings only, so wiring choice and scheduling stay on separate
+// streams.
+func buildSystem(algo, wiring string, inputs []string, m int, nondet bool, rng *rand.Rand) (*machine.System, *view.Interner, []view.ID, error) {
+	n := len(inputs)
+	var wirings [][]int
+	switch wiring {
+	case "identity":
+		wirings = anonmem.IdentityWirings(n, m)
+	case "rotation":
+		wirings = anonmem.RotationWirings(n, m)
+	case "random":
+		wirings = anonmem.RandomWirings(rng, n, m)
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown wiring %q", wiring)
+	}
+
+	in := view.NewInterner()
+	ids := make([]view.ID, n)
+	machines := make([]machine.Machine, n)
+	for i, label := range inputs {
+		ids[i] = in.Intern(label)
+		switch algo {
+		case "snapshot":
+			machines[i] = core.NewSnapshot(n, m, ids[i], nondet)
+		case "writescan":
+			machines[i] = core.NewWriteScan(m, ids[i], nondet)
+		case "doublecollect":
+			machines[i] = baseline.NewDoubleCollect(m, ids[i])
+		case "blocking":
+			machines[i] = baseline.NewBlocking(m, ids[i])
+		case "renaming":
+			machines[i] = renaming.New(n, m, ids[i], nondet)
+		case "consensus":
+			cm, err := consensus.New(in, n, m, label, nondet)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			machines[i] = cm
+		default:
+			return nil, nil, nil, fmt.Errorf("unknown algorithm %q", algo)
+		}
+	}
+	mem, err := anonmem.New(m, core.EmptyCell, wirings)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sys, err := machine.NewSystem(mem, machines)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, in, ids, nil
+}
+
+// stepBudget is the default step allowance of one run.
+func stepBudget(algo string, steps, n, m int) int {
+	if steps != 0 {
+		return steps
+	}
+	if algo == "writescan" {
+		return 60 * n * (m + 1) // a bounded look at the infinite loop
+	}
+	return 200_000 * n * n
 }
 
 func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error {
@@ -238,82 +339,28 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 		m = n
 	}
 	rng := rand.New(rand.NewSource(cli.seed))
-
-	var wirings [][]int
-	switch cli.wiring {
-	case "identity":
-		wirings = anonmem.IdentityWirings(n, m)
-	case "rotation":
-		wirings = anonmem.RotationWirings(n, m)
-	case "random":
-		wirings = anonmem.RandomWirings(rng, n, m)
-	default:
-		return fmt.Errorf("unknown wiring %q", cli.wiring)
-	}
-
-	in := view.NewInterner()
-	ids := make([]view.ID, n)
-	machines := make([]machine.Machine, n)
-	for i, label := range inputs {
-		ids[i] = in.Intern(label)
-		switch cli.algo {
-		case "snapshot":
-			machines[i] = core.NewSnapshot(n, m, ids[i], cli.nondet)
-		case "writescan":
-			machines[i] = core.NewWriteScan(m, ids[i], cli.nondet)
-		case "doublecollect":
-			machines[i] = baseline.NewDoubleCollect(m, ids[i])
-		case "blocking":
-			machines[i] = baseline.NewBlocking(m, ids[i])
-		case "renaming":
-			machines[i] = renaming.New(n, m, ids[i], cli.nondet)
-		case "consensus":
-			cm, err := consensus.New(in, n, m, label, cli.nondet)
-			if err != nil {
-				return err
-			}
-			machines[i] = cm
-		default:
-			return fmt.Errorf("unknown algorithm %q", cli.algo)
-		}
-	}
-	mem, err := anonmem.New(m, core.EmptyCell, wirings)
-	if err != nil {
-		return err
-	}
-	sys, err := machine.NewSystem(mem, machines)
+	sys, in, ids, err := buildSystem(cli.algo, cli.wiring, inputs, m, cli.nondet, rng)
 	if err != nil {
 		return err
 	}
 
-	var scheduler sched.Scheduler
-	switch cli.schedName {
-	case "rr":
-		scheduler = &sched.RoundRobin{}
-	case "random":
-		scheduler = &sched.Random{Rng: rng, ChoiceRandom: cli.nondet}
-	case "solo":
-		scheduler = sched.NewSolo(n)
-	case "coverer":
-		scheduler = &sched.Coverer{}
-	default:
-		return fmt.Errorf("unknown scheduler %q", cli.schedName)
+	scheduler, err := sched.NewByName(cli.schedName, n, sched.SplitSeed(cli.seed, sched.StreamSched), cli.nondet)
+	if err != nil {
+		return err
 	}
+	cseed := int64(0)
 	if cli.crashes > 0 {
-		cseed := cli.crashSeed
+		cseed = cli.crashSeed
 		if cseed == 0 {
-			cseed = cli.seed + 1
+			// Derived, not seed+1: the old rule made -seed k's crash
+			// stream the exact generator state of -seed k+1's scheduler
+			// stream, correlating consecutive runs of a seed sweep.
+			cseed = sched.SplitSeed(cli.seed, sched.StreamCrash)
 		}
 		scheduler = sched.NewCrasher(scheduler, cli.crashes, cseed)
 	}
 
-	budget := cli.steps
-	if budget == 0 {
-		budget = 200_000 * n * n
-		if cli.algo == "writescan" {
-			budget = 60 * n * (m + 1) // a bounded look at the infinite loop
-		}
-	}
+	budget := stepBudget(cli.algo, cli.steps, n, m)
 
 	var rec *trace.Recorder
 	if cli.showTrace {
@@ -352,7 +399,7 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 
 	out := runOutcome{
 		Algorithm: cli.algo, N: n, M: m,
-		Scheduler: cli.schedName, Wiring: cli.wiring, Seed: cli.seed,
+		Scheduler: cli.schedName, Wiring: cli.wiring, Seed: cli.seed, CrashSeed: cseed,
 		Steps: res.Steps, Crashes: res.Crashes, Stop: res.Reason.String(), AllDone: true,
 		Registers: inst.RegisterAccess(),
 	}
@@ -426,8 +473,7 @@ func run(cli options, reg *obs.Registry, sink *obs.Sink, rep *obs.Report) error 
 // exhaustively (explore.SnapshotInvariant), applied to the single
 // executed run. A violation carries the exitcode.Violation status, so a
 // broken algorithm fails loudly even in simulation. Algorithms without a
-// checked output invariant (writescan never terminates; renaming is
-// validated by its own test suite) pass through.
+// checked output invariant (writescan never terminates) pass through.
 func validateOutputs(algo string, inputs []string, ids []view.ID, sys *machine.System) error {
 	switch algo {
 	case "snapshot", "doublecollect", "blocking":
@@ -463,6 +509,35 @@ func validateOutputs(algo string, inputs []string, ids []view.ID, sys *machine.S
 			}
 			outs = append(outs, v)
 			procs = append(procs, p)
+		}
+	case "renaming":
+		// Group-renaming validity (Section 5): for G participating groups
+		// the name space is 1..G(G+1)/2, distinct groups get distinct
+		// names, and processors of one group may share one.
+		groups := map[string]bool{}
+		for _, in := range inputs {
+			groups[in] = true
+		}
+		maxName := len(groups) * (len(groups) + 1) / 2
+		taken := map[int]string{} // name -> group that holds it
+		for p, mm := range sys.Procs {
+			if !mm.Done() {
+				continue
+			}
+			name, ok := mm.Output().(renaming.Name)
+			if !ok {
+				return exitcode.Violated("renaming validity",
+					fmt.Errorf("p%d output %v is not a name", p+1, mm.Output()))
+			}
+			if int(name) < 1 || int(name) > maxName {
+				return exitcode.Violated("renaming validity",
+					fmt.Errorf("p%d took name %d outside 1..%d for %d groups", p+1, int(name), maxName, len(groups)))
+			}
+			if holder, clash := taken[int(name)]; clash && holder != inputs[p] {
+				return exitcode.Violated("renaming uniqueness",
+					fmt.Errorf("groups %q and %q share name %d", holder, inputs[p], int(name)))
+			}
+			taken[int(name)] = inputs[p]
 		}
 	case "consensus":
 		decided := ""

@@ -9,6 +9,7 @@ import (
 	"anonshm/internal/core"
 	"anonshm/internal/exitcode"
 	"anonshm/internal/machine"
+	"anonshm/internal/renaming"
 	"anonshm/internal/view"
 )
 
@@ -77,6 +78,13 @@ func TestValidateOutputs(t *testing.T) {
 		{"misses own input", "snapshot", []anonmem.Word{cell(b), cell(a, b)}, true},
 		{"exceeds inputs", "snapshot", []anonmem.Word{cell(a, c), nil}, true},
 		{"unchecked algorithm", "writescan", []anonmem.Word{cell(b), cell(a)}, false},
+		// Two groups ("a", "b"): names live in 1..3 and distinct groups
+		// must take distinct names.
+		{"renaming valid", "renaming", []anonmem.Word{renaming.Name(1), renaming.Name(3)}, false},
+		{"renaming one running", "renaming", []anonmem.Word{renaming.Name(2), nil}, false},
+		{"renaming name too large", "renaming", []anonmem.Word{renaming.Name(4), nil}, true},
+		{"renaming name zero", "renaming", []anonmem.Word{renaming.Name(0), nil}, true},
+		{"renaming cross-group collision", "renaming", []anonmem.Word{renaming.Name(2), renaming.Name(2)}, true},
 		{"consensus agrees", "consensus", []anonmem.Word{consensus.Decision("a"), consensus.Decision("a")}, false},
 		{"consensus disagrees", "consensus", []anonmem.Word{consensus.Decision("a"), consensus.Decision("b")}, true},
 		{"consensus invalid value", "consensus", []anonmem.Word{consensus.Decision("z"), consensus.Decision("z")}, true},
@@ -92,4 +100,21 @@ func TestValidateOutputs(t *testing.T) {
 			}
 		})
 	}
+
+	// Processors of the SAME group may share a name — that is the whole
+	// point of group renaming — and a third group widens the name space.
+	t.Run("renaming same-group share", func(t *testing.T) {
+		err := validateOutputs("renaming", []string{"a", "a"}, []view.ID{a, a},
+			fakeSystem(t, []anonmem.Word{renaming.Name(1), renaming.Name(1)}))
+		if err != nil {
+			t.Errorf("same-group shared name rejected: %v", err)
+		}
+	})
+	t.Run("renaming three groups", func(t *testing.T) {
+		err := validateOutputs("renaming", []string{"a", "b", "c"}, []view.ID{a, b, c},
+			fakeSystem(t, []anonmem.Word{renaming.Name(6), renaming.Name(1), renaming.Name(3)}))
+		if err != nil {
+			t.Errorf("valid 3-group renaming rejected: %v", err)
+		}
+	})
 }

@@ -43,11 +43,18 @@ func runLoad(paths []string) error {
 }
 
 // renderSection renders one report section. JSON objects become sorted
-// key/value tables; everything else prints as compact JSON.
+// key/value tables; a campaign section (recognized by its "cells" array)
+// additionally gets its per-(algorithm, scheduler) aggregates as a
+// table; everything else prints as compact JSON.
 func renderSection(v any) string {
 	m, ok := v.(map[string]any)
 	if !ok {
 		return compactJSON(v) + "\n"
+	}
+	var cellTable string
+	if cells, ok := m["cells"].([]any); ok {
+		cellTable = campaignCellsTable(cells)
+		delete(m, "cells")
 	}
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -58,7 +65,42 @@ func renderSection(v any) string {
 	for _, k := range keys {
 		rows = append(rows, []string{k, renderValue(k, m[k])})
 	}
-	return trace.Table([]string{"field", "value"}, rows)
+	return trace.Table([]string{"field", "value"}, rows) + cellTable
+}
+
+// campaignCellsTable renders an anonsim -campaign report's per-cell
+// step-count distributions — the same layout the campaign prints live.
+func campaignCellsTable(cells []any) string {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		cell, ok := c.(map[string]any)
+		if !ok {
+			continue
+		}
+		str := func(k string) string {
+			switch v := cell[k].(type) {
+			case string:
+				return v
+			case float64:
+				if v == float64(int64(v)) {
+					return fmt.Sprintf("%d", int64(v))
+				}
+				return fmt.Sprintf("%.1f", v)
+			case nil:
+				return "0"
+			default:
+				return compactJSON(v)
+			}
+		}
+		rows = append(rows, []string{
+			str("algo"), str("sched"), str("runs"), str("violations"),
+			str("crashes"), str("stepsMean"), str("stepsP50"), str("stepsP90"), str("stepsMax"),
+		})
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	return trace.Table([]string{"algo", "sched", "runs", "viol", "crashes", "mean", "p50", "p90", "max"}, rows)
 }
 
 // renderValue renders one section value. Byte-count fields written by

@@ -30,6 +30,43 @@ func TestRenderSectionStoreFields(t *testing.T) {
 	}
 }
 
+// TestRenderSectionCampaignCells checks that a campaign section — as
+// written by anonsim -campaign -report and read back as generic JSON —
+// renders its per-(algorithm, scheduler) cells as a table below the
+// scalar summary fields.
+func TestRenderSectionCampaignCells(t *testing.T) {
+	section := map[string]any{
+		"jobs": float64(400), "runs": float64(400),
+		"violations": float64(0), "workers": float64(4), "totalSteps": float64(27100),
+		"cells": []any{
+			map[string]any{
+				"algo": "snapshot", "sched": "pareto", "runs": float64(50),
+				"crashes": float64(31), "stepsMean": 67.75,
+				"stepsP50": 61.2, "stepsP90": 141.9, "stepsMax": float64(219),
+			},
+			map[string]any{
+				"algo": "renaming", "sched": "bursty", "runs": float64(50),
+				"violations": float64(2), "crashes": float64(28), "stepsMean": float64(70),
+				"stepsP50": 66.0, "stepsP90": 150.5, "stepsMax": float64(240),
+			},
+		},
+	}
+	out := renderSection(section)
+	for _, want := range []string{
+		"algo", "sched", "p50", "p90",
+		"snapshot", "pareto", "67.8", "61.2", "219",
+		"renaming", "bursty", "66", "150.5", "240",
+		"totalSteps", "27100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign section missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "cells") {
+		t.Errorf("cells rendered as a raw field instead of a table:\n%s", out)
+	}
+}
+
 // TestRenderValuePassthrough pins that only diskBytes is humanized;
 // ordinary numeric fields keep their exact JSON form.
 func TestRenderValuePassthrough(t *testing.T) {

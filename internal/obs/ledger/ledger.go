@@ -186,6 +186,12 @@ var configFlags = map[string]bool{
 	"nondet": true, "wirings": true, "registers": true, "depth": true,
 	"max-states": true, "algo": true, "sched": true, "wiring": true,
 	"seed": true, "steps": true,
+	// anonsim crash-stream identity and -campaign sweep shape. crash-seed
+	// matters because its default derivation changed (splitmix64 split of
+	// -seed, historically seed+1): entries on the two rules must not share
+	// a trend trajectory.
+	"crash-seed": true, "campaign": true, "algos": true, "ns": true,
+	"schedulers": true, "seeds": true, "crash-budgets": true,
 }
 
 // ConfigFromArgs extracts the comparability-defining -flag value pairs

@@ -1,0 +1,230 @@
+package sched_test
+
+// Fuzz targets: fuzzer-chosen schedules (step order, nondeterministic
+// register choices, crash timing) drive the Figure 3 snapshot and the
+// Figure 4 renaming machines at N=2, cross-checked against the
+// exhaustive explorer as oracle — every terminal state a fuzzed
+// schedule can reach must be one the DFS engine enumerates under the
+// same crash budget, and its outputs must satisfy the task invariants.
+// The fuzzer searching schedule space and the explorer enumerating it
+// are two independent implementations of the same adversary model;
+// disagreement in either direction is a bug.
+//
+// This file is the package's only external (sched_test) test file:
+// explore imports sched, so the oracle cannot be built from inside the
+// sched package itself.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"anonshm/internal/core"
+	"anonshm/internal/explore"
+	"anonshm/internal/machine"
+	"anonshm/internal/renaming"
+	"anonshm/internal/sched"
+	"anonshm/internal/view"
+)
+
+const (
+	fuzzN       = 2 // processors; oracle state spaces stay small
+	fuzzCrashes = fuzzN - 1
+)
+
+// fuzzSystem builds the N=2 distinct-group system for algo with identity
+// wirings (the oracle must enumerate the same fixed wiring) and exposed
+// nondeterminism.
+func fuzzSystem(algo string) (*machine.System, []view.ID, []string, error) {
+	inputs := []string{"a", "b"}
+	cfg := core.Config{Inputs: inputs, Nondet: true}
+	var (
+		sys *machine.System
+		in  *view.Interner
+		err error
+	)
+	switch algo {
+	case "snapshot":
+		sys, in, err = core.NewSnapshotSystem(cfg)
+	case "renaming":
+		sys, in, err = renaming.NewSystem(cfg)
+	default:
+		return nil, nil, nil, fmt.Errorf("no fuzz system for %q", algo)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ids := make([]view.ID, len(inputs))
+	for i, label := range inputs {
+		ids[i] = in.Intern(label)
+	}
+	return sys, ids, inputs, nil
+}
+
+// terminalOracle enumerates, once per algorithm, every terminal state
+// key reachable under any schedule with up to fuzzCrashes crashes: the
+// ground truth the fuzzed executions are checked against.
+var terminalOracle = struct {
+	once map[string]*sync.Once
+	keys map[string]map[string]bool
+	mu   sync.Mutex
+}{
+	once: map[string]*sync.Once{"snapshot": {}, "renaming": {}},
+	keys: map[string]map[string]bool{},
+}
+
+func oracleKeys(t *testing.T, algo string) map[string]bool {
+	t.Helper()
+	terminalOracle.once[algo].Do(func() {
+		sys, _, _, err := fuzzSystem(algo)
+		if err != nil {
+			return // surfaces as an empty oracle below
+		}
+		keys := map[string]bool{}
+		_, err = explore.Run(sys, explore.Options{
+			Engine:     explore.DFSEngine, // serial: keys map needs no lock
+			MaxCrashes: fuzzCrashes,
+			Invariant: func(n explore.Node) error {
+				if n.Sys.AllDone() || n.Sys.Quiescent() {
+					keys[n.Sys.Key()] = true
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return
+		}
+		terminalOracle.mu.Lock()
+		terminalOracle.keys[algo] = keys
+		terminalOracle.mu.Unlock()
+	})
+	terminalOracle.mu.Lock()
+	defer terminalOracle.mu.Unlock()
+	keys := terminalOracle.keys[algo]
+	if len(keys) == 0 {
+		t.Fatalf("%s: exhaustive oracle produced no terminal states", algo)
+	}
+	return keys
+}
+
+// applySchedule replays data as a schedule: each byte's low bit picks
+// the processor (falling back to the other one when disabled), the next
+// six bits pick among its pending nondeterministic choices, and the high
+// bit spends the crash budget on the selected processor instead of
+// stepping it. Returns the number of transitions taken.
+func applySchedule(t *testing.T, sys *machine.System, data []byte) int {
+	t.Helper()
+	steps, crashesLeft := 0, fuzzCrashes
+	for _, b := range data {
+		if sys.AllDone() || sys.Quiescent() {
+			break
+		}
+		p := int(b & 1)
+		if !sys.Enabled(p) {
+			p = 1 - p
+		}
+		if !sys.Enabled(p) {
+			break
+		}
+		if b&0x80 != 0 && crashesLeft > 0 {
+			if _, err := sys.Crash(p); err != nil {
+				t.Fatalf("crash p%d: %v", p, err)
+			}
+			crashesLeft--
+			steps++
+			continue
+		}
+		pend := sys.Procs[p].Pending()
+		if len(pend) == 0 {
+			t.Fatalf("enabled p%d has no pending op", p)
+		}
+		if _, err := sys.Step(p, int(b>>1&0x3f)%len(pend)); err != nil {
+			t.Fatalf("step p%d: %v", p, err)
+		}
+		steps++
+	}
+	return steps
+}
+
+// validateFuzzOutputs checks terminated outputs against the task
+// invariants (the same conditions anonsim validates post-run).
+func validateFuzzOutputs(t *testing.T, algo string, inputs []string, ids []view.ID, sys *machine.System, desc string) {
+	t.Helper()
+	switch algo {
+	case "snapshot":
+		outs, ok := core.SnapshotOutputs(sys)
+		all := view.Empty()
+		for _, id := range ids {
+			all = all.With(id)
+		}
+		for p := range outs {
+			if !ok[p] {
+				continue
+			}
+			if !outs[p].Contains(ids[p]) {
+				t.Fatalf("%s: output of p%d misses own input", desc, p)
+			}
+			if !outs[p].SubsetOf(all) {
+				t.Fatalf("%s: output of p%d exceeds participating inputs", desc, p)
+			}
+			for q := 0; q < p; q++ {
+				if ok[q] && !outs[p].ComparableWith(outs[q]) {
+					t.Fatalf("%s: outputs of p%d and p%d incomparable", desc, p, q)
+				}
+			}
+		}
+	case "renaming":
+		groups := map[string]bool{}
+		for _, in := range inputs {
+			groups[in] = true
+		}
+		maxName := len(groups) * (len(groups) + 1) / 2
+		names, done := renaming.Names(sys)
+		for p := range names {
+			if !done[p] {
+				continue
+			}
+			if names[p] < 1 || names[p] > maxName {
+				t.Fatalf("%s: p%d name %d outside 1..%d", desc, p, names[p], maxName)
+			}
+			for q := 0; q < p; q++ {
+				if done[q] && names[q] == names[p] && inputs[q] != inputs[p] {
+					t.Fatalf("%s: cross-group name collision %d between p%d and p%d", desc, names[p], p, q)
+				}
+			}
+		}
+	}
+}
+
+// fuzzSchedule is the shared target body: replay the fuzzed prefix,
+// finish fairly, and require (1) termination — wait-freedom, (2) a
+// terminal state the exhaustive explorer knows, (3) valid outputs.
+func fuzzSchedule(f *testing.F, algo string) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 0, 1})
+	f.Add([]byte{0x80, 1, 1, 1})             // crash p0 first
+	f.Add([]byte{1, 0x81, 0, 0})             // crash p1 mid-run
+	f.Add([]byte{0x7e, 0x03, 0x42, 0x19, 1}) // deep choice bits
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, ids, inputs, err := fuzzSystem(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySchedule(t, sys, data)
+		res, err := sched.Run(sys, &sched.RoundRobin{}, 100_000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != sched.StopAllDone && res.Reason != sched.StopQuiescent {
+			t.Fatalf("schedule %x: run stopped with %v — wait-freedom violated", data, res.Reason)
+		}
+		if !oracleKeys(t, algo)[sys.Key()] {
+			t.Fatalf("schedule %x: terminal state %q is unknown to the exhaustive explorer", data, sys.Key())
+		}
+		validateFuzzOutputs(t, algo, inputs, ids, sys, fmt.Sprintf("schedule %x", data))
+	})
+}
+
+func FuzzSnapshotSchedule(f *testing.F) { fuzzSchedule(f, "snapshot") }
+
+func FuzzRenamingSchedule(f *testing.F) { fuzzSchedule(f, "renaming") }

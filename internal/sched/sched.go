@@ -6,6 +6,11 @@
 // schedulers (round-robin, seeded random), sequential ones (solo runs for
 // obstruction-freedom), exact scripts (to replay Figure 2), and heuristic
 // covering adversaries that try to make processors overwrite each other.
+// zoo.go extends the bestiary with latency-distribution schedulers
+// (exponential, heavy-tailed Pareto), a bursty phased adversary, a
+// starvation/priority-inversion adversary and a Weighted mixer; NewByName
+// is the registry the command-line tools and the anonsim campaign runner
+// resolve scheduler names against.
 package sched
 
 import (
@@ -264,6 +269,11 @@ func (s *Scripted) Remaining() int { return len(s.Script) - s.idx }
 // Seq runs each scheduler for its step budget, then moves to the next.
 // A budget < 0 means "until that scheduler stops". Seq is how adversarial
 // prefixes compose with solo suffixes when testing obstruction-freedom.
+//
+// Seq also implements FaultInjector by delegating to the active phase, so
+// a crash adversary (Crasher) nested inside a phase keeps injecting:
+// sched.Run only type-asserts the top-level scheduler, and before this
+// delegation a Seq-wrapped Crasher silently never crashed anyone.
 type Seq struct {
 	Phases []Phase
 	idx    int
@@ -297,55 +307,103 @@ func (q *Seq) Next(sys *machine.System, t int) (int, int) {
 	return -1, 0
 }
 
+// NextCrash implements FaultInjector by delegating to the active phase
+// when that phase's scheduler is itself a FaultInjector; phases whose
+// schedulers inject no faults propose nothing. An injected crash consumes
+// the phase's step budget exactly as it consumes Run's global budget — a
+// crash is a transition of the model like any other. Phase advancement
+// here mirrors Next: budget-exhausted phases are skipped, so the phase
+// consulted for crashes is always the one Next would step.
+func (q *Seq) NextCrash(sys *machine.System, t int) int {
+	for q.idx < len(q.Phases) {
+		ph := q.Phases[q.idx]
+		if ph.Steps >= 0 && q.used >= ph.Steps {
+			q.idx++
+			q.used = 0
+			continue
+		}
+		inj, ok := ph.S.(FaultInjector)
+		if !ok {
+			return -1
+		}
+		v := inj.NextCrash(sys, t)
+		if v >= 0 {
+			q.used++
+		}
+		return v
+	}
+	return -1
+}
+
 // Coverer is a heuristic covering adversary: it prefers to step a
 // processor whose next operation overwrites a register that currently
 // holds different contents — maximizing erasure of information, the
-// central difficulty of the fully-anonymous model. Ties break by a
-// rotating index so that the adversary stays fair enough to keep the run
-// moving; reads are scheduled only when no destructive write is pending.
+// central difficulty of the fully-anonymous model. Every pending
+// nondeterministic choice of every enabled processor is scored, and the
+// most destructive (processor, choice) pair is taken — a machine whose
+// default choice is a read may still offer a covering write as an
+// alternative, and an adversary blind to the alternatives misses exactly
+// the executions it exists to produce. Ties break by a rotating index so
+// that the adversary stays fair enough to keep the run moving; reads are
+// scheduled only when no destructive write is pending.
 type Coverer struct {
 	Rng  *rand.Rand // optional; breaks ties randomly when set
 	next int
 }
 
+// score rates executing op by processor p: how much information the step
+// erases. Destructive overwrites of someone else's write score highest;
+// output steps rank above reads so finished processors leave and keep
+// pressure on the rest.
+func (cv *Coverer) score(sys *machine.System, p int, op machine.Op) int {
+	switch op.Kind {
+	case machine.OpWrite:
+		g := sys.Mem.Global(p, op.Reg)
+		cur := sys.Mem.CellAt(g)
+		score := 1
+		if cur.Key() != op.Word.Key() {
+			score = 3 // destructive overwrite
+		}
+		if sys.Mem.LastWriterAt(g) != p && sys.Mem.LastWriterAt(g) >= 0 {
+			score++ // erases someone else's write
+		}
+		return score
+	case machine.OpOutput:
+		return 2 // let finished processors leave: keeps pressure on the rest
+	default: // reads observe, they erase nothing
+		return 0
+	}
+}
+
 // Next implements Scheduler.
 func (cv *Coverer) Next(sys *machine.System, _ int) (int, int) {
 	n := sys.N()
-	bestP, bestScore, ties := -1, -1, 0
+	bestP, bestC, bestScore, ties := -1, 0, -1, 0
 	for i := 0; i < n; i++ {
 		p := (cv.next + i) % n
 		if !sys.Enabled(p) {
 			continue
 		}
-		op := sys.Procs[p].Pending()[0]
-		score := 0
-		switch op.Kind {
-		case machine.OpWrite:
-			g := sys.Mem.Global(p, op.Reg)
-			cur := sys.Mem.CellAt(g)
-			if cur.Key() != op.Word.Key() {
-				score = 3 // destructive overwrite
-			} else {
-				score = 1
+		// Keep the most destructive of p's pending choices, not blindly
+		// choice 0: with -nondet the alternatives differ (e.g. which
+		// unwritten register to write), and the historical behaviour of
+		// always returning choice 0 ignored them entirely.
+		choice, score := 0, -1
+		for c, op := range sys.Procs[p].Pending() {
+			if s := cv.score(sys, p, op); s > score {
+				choice, score = c, s
 			}
-			if sys.Mem.LastWriterAt(g) != p && sys.Mem.LastWriterAt(g) >= 0 {
-				score++ // erases someone else's write
-			}
-		case machine.OpRead:
-			score = 0
-		case machine.OpOutput:
-			score = 2 // let finished processors leave: keeps pressure on the rest
 		}
 		switch {
 		case score > bestScore:
-			bestScore, bestP, ties = score, p, 1
+			bestScore, bestP, bestC, ties = score, p, choice, 1
 		case score == bestScore && cv.Rng != nil:
 			// Reservoir-sample among equal-score processors: replacing the
 			// k-th tie with probability 1/k leaves every tied processor
 			// equally likely, without collecting them.
 			ties++
 			if cv.Rng.Intn(ties) == 0 {
-				bestP = p
+				bestP, bestC = p, choice
 			}
 		}
 	}
@@ -353,7 +411,7 @@ func (cv *Coverer) Next(sys *machine.System, _ int) (int, int) {
 		return -1, 0
 	}
 	cv.next = (bestP + 1) % n
-	return bestP, 0
+	return bestP, bestC
 }
 
 // Crasher is the crash-fault adversary: it wraps a step scheduler and
@@ -436,4 +494,5 @@ var (
 	_ Scheduler     = (*Coverer)(nil)
 	_ Scheduler     = (*Crasher)(nil)
 	_ FaultInjector = (*Crasher)(nil)
+	_ FaultInjector = (*Seq)(nil)
 )

@@ -1,0 +1,439 @@
+package sched
+
+// This file is the adversary zoo (ROADMAP item 4): schedulers modeling
+// timing regimes beyond the fair baselines of sched.go — per-processor
+// latency distributions (memoryless exponential and heavy-tailed
+// Pareto), bursty phased execution, starvation bias with occasional
+// priority inversion, and a Weighted mixer that composes any of them.
+// All implement the plain Scheduler interface, so explore's validators,
+// sched.Instrument and the anonsim campaign runner drive them unchanged;
+// the mixer additionally delegates FaultInjector so crash adversaries
+// compose through it. NewByName is the shared registry the command-line
+// tools resolve -sched values against.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anonshm/internal/machine"
+)
+
+// SplitSeed stream indices: each random subsystem of a run draws from
+// its own decorrelated stream of the run seed.
+const (
+	// StreamSched seeds scheduler decisions.
+	StreamSched uint64 = iota
+	// StreamCrash seeds crash victims and timing.
+	StreamCrash
+	// StreamMember is the base stream for Weighted mixture members;
+	// member i uses StreamMember+i.
+	StreamMember
+)
+
+// SplitSeed derives an independent seed from base for the given stream
+// index with the splitmix64 finalizer. Deriving the crash-adversary seed
+// as base+1 — the historical rule — made "-seed k"'s crash stream the
+// exact generator state of "-seed k+1"'s scheduler stream, a correlation
+// hazard for campaign statistics that sweep consecutive seeds; the
+// splitmix64 mix decorrelates every (seed, stream) pair.
+func SplitSeed(base int64, stream uint64) int64 {
+	x := uint64(base) + 0x9e3779b97f4a7c15*(stream+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// randomChoice picks a uniform pending choice for processor p when
+// choose is set, and the default choice 0 otherwise.
+func randomChoice(rng *rand.Rand, sys *machine.System, p int, choose bool) int {
+	if !choose || rng == nil {
+		return 0
+	}
+	if k := len(sys.Procs[p].Pending()); k > 1 {
+		return rng.Intn(k)
+	}
+	return 0
+}
+
+// LatencyDist selects the per-step delay distribution of a Latency
+// scheduler.
+type LatencyDist uint8
+
+const (
+	// ExpLatency draws exponential delays: memoryless and light-tailed,
+	// the classic asynchronous-but-benign timing model (Poisson steps).
+	ExpLatency LatencyDist = iota
+	// ParetoLatency draws Pareto delays: heavy-tailed, so a processor
+	// occasionally stalls orders of magnitude longer than its mean —
+	// the regime where coverings have time to pile up on the sleeper.
+	ParetoLatency
+)
+
+// DefaultParetoAlpha is the Pareto tail exponent used when Alpha is
+// unset: heavy enough for dramatic stalls, finite-mean (alpha > 1) so
+// runs still finish in reasonable virtual time.
+const DefaultParetoAlpha = 1.5
+
+// Latency schedules by virtual time: every processor owns a clock, each
+// step the enabled processor with the earliest clock runs, and its clock
+// advances by a freshly drawn delay. Weights skew relative speed (weight
+// w divides the mean delay, so heavier processors step more often); the
+// distribution decides how bursty the interleavings get.
+type Latency struct {
+	// Rng drives the delay draws; required.
+	Rng *rand.Rand
+	// Dist selects the delay distribution (default ExpLatency).
+	Dist LatencyDist
+	// Alpha is the Pareto tail exponent (0 = DefaultParetoAlpha); values
+	// near 1 give wilder stalls, large values approach constant delays.
+	Alpha float64
+	// Weights scales per-processor step rates; nil or non-positive
+	// entries mean rate 1.
+	Weights []float64
+	// ChoiceRandom picks uniformly among pending nondeterministic
+	// choices instead of the default choice 0.
+	ChoiceRandom bool
+	clocks       []float64
+}
+
+// NewLatency returns a latency-distribution scheduler seeded with seed.
+func NewLatency(dist LatencyDist, seed int64) *Latency {
+	return &Latency{Rng: rand.New(rand.NewSource(seed)), Dist: dist}
+}
+
+// delay draws the next inter-step delay of processor p.
+func (l *Latency) delay(p int) float64 {
+	rate := 1.0
+	if p < len(l.Weights) && l.Weights[p] > 0 {
+		rate = l.Weights[p]
+	}
+	switch l.Dist {
+	case ParetoLatency:
+		alpha := l.Alpha
+		if alpha == 0 {
+			alpha = DefaultParetoAlpha
+		}
+		// Inverse-CDF sample of a Pareto with minimum 1.
+		return math.Pow(1-l.Rng.Float64(), -1/alpha) / rate
+	default:
+		return l.Rng.ExpFloat64() / rate
+	}
+}
+
+// Next implements Scheduler.
+func (l *Latency) Next(sys *machine.System, _ int) (int, int) {
+	n := sys.N()
+	for len(l.clocks) < n {
+		l.clocks = append(l.clocks, l.delay(len(l.clocks)))
+	}
+	best := -1
+	for p := 0; p < n; p++ {
+		if !sys.Enabled(p) {
+			continue
+		}
+		if best < 0 || l.clocks[p] < l.clocks[best] {
+			best = p
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	l.clocks[best] += l.delay(best)
+	return best, randomChoice(l.Rng, sys, best, l.ChoiceRandom)
+}
+
+// DefaultBurstLen is the steps-per-burst of a Bursty that does not set
+// one: long enough for a burst set to make progress alone, short enough
+// that membership churns many times per run.
+const DefaultBurstLen = 8
+
+// Bursty is the phased adversary: it draws a random subset of
+// processors and runs only that burst set, round-robin, for BurstLen
+// steps before redrawing. Executions alternate dense bursts with long
+// per-processor silences — the arrival pattern of the miner and gossip
+// simulations this zoo is modeled on — which stresses algorithms with
+// stale views re-entering after a pause.
+type Bursty struct {
+	// Rng draws burst membership; required.
+	Rng *rand.Rand
+	// BurstLen is the number of steps per burst (0 = DefaultBurstLen).
+	BurstLen int
+	// ChoiceRandom picks uniformly among pending nondeterministic
+	// choices instead of the default choice 0.
+	ChoiceRandom bool
+	remaining    int
+	members      []int
+	pos          int
+}
+
+// NewBursty returns a bursty scheduler seeded with seed.
+func NewBursty(seed int64) *Bursty {
+	return &Bursty{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (b *Bursty) Next(sys *machine.System, _ int) (int, int) {
+	if b.remaining > 0 {
+		if p, ok := b.pick(sys); ok {
+			b.remaining--
+			return p, randomChoice(b.Rng, sys, p, b.ChoiceRandom)
+		}
+	}
+	// Burst over, or every member terminated/crashed mid-burst: redraw.
+	if !b.redraw(sys) {
+		return -1, 0
+	}
+	b.remaining = b.BurstLen
+	if b.remaining <= 0 {
+		b.remaining = DefaultBurstLen
+	}
+	p, _ := b.pick(sys) // redraw guarantees an enabled member
+	b.remaining--
+	return p, randomChoice(b.Rng, sys, p, b.ChoiceRandom)
+}
+
+// pick returns the next enabled member of the current burst, rotating.
+func (b *Bursty) pick(sys *machine.System) (int, bool) {
+	for i := 0; i < len(b.members); i++ {
+		p := b.members[(b.pos+i)%len(b.members)]
+		if sys.Enabled(p) {
+			b.pos = (b.pos + i + 1) % len(b.members)
+			return p, true
+		}
+	}
+	return -1, false
+}
+
+// redraw samples a fresh burst set: each enabled processor joins with
+// probability 1/2, with a reservoir-sampled fallback member so the set
+// is never empty. Returns false when no processor is enabled at all.
+func (b *Bursty) redraw(sys *machine.System) bool {
+	b.members = b.members[:0]
+	fallback, seen := -1, 0
+	for p := 0; p < sys.N(); p++ {
+		if !sys.Enabled(p) {
+			continue
+		}
+		seen++
+		if b.Rng.Intn(seen) == 0 {
+			fallback = p
+		}
+		if b.Rng.Intn(2) == 0 {
+			b.members = append(b.members, p)
+		}
+	}
+	if seen == 0 {
+		return false
+	}
+	if len(b.members) == 0 {
+		b.members = append(b.members, fallback)
+	}
+	b.pos = 0
+	return true
+}
+
+// DefaultInvertProb is the per-step priority-inversion probability of a
+// Starver that does not set one.
+const DefaultInvertProb = 0.05
+
+// Starver is the starvation-biased adversary: it fixes a random priority
+// permutation and steps the highest-priority enabled processor, starving
+// everyone below — a victim advances only once every higher-priority
+// processor has terminated or crashed. With probability Invert per step
+// it instead steps the LOWEST-priority enabled processor, modeling a
+// priority inversion in which a starved straggler suddenly overwrites
+// state the leaders consider settled. On the paper's wait-free
+// algorithms the leaders drain the priority order and every run
+// terminates; on a non-wait-free algorithm this is a starvation
+// counterexample generator.
+type Starver struct {
+	// Rng draws the priority permutation and the inversion coin; required.
+	Rng *rand.Rand
+	// Invert is the per-step inversion probability (0 =
+	// DefaultInvertProb; negative disables inversions entirely).
+	Invert float64
+	// ChoiceRandom picks uniformly among pending nondeterministic
+	// choices instead of the default choice 0.
+	ChoiceRandom bool
+	prio         []int
+}
+
+// NewStarver returns a starvation-biased scheduler seeded with seed.
+func NewStarver(seed int64) *Starver {
+	return &Starver{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *Starver) Next(sys *machine.System, _ int) (int, int) {
+	if s.prio == nil {
+		s.prio = s.Rng.Perm(sys.N())
+	}
+	invert := s.Invert
+	if invert == 0 {
+		invert = DefaultInvertProb
+	}
+	pick := -1
+	if s.Rng.Float64() < invert {
+		for i := len(s.prio) - 1; i >= 0; i-- {
+			if sys.Enabled(s.prio[i]) {
+				pick = s.prio[i]
+				break
+			}
+		}
+	} else {
+		for _, p := range s.prio {
+			if sys.Enabled(p) {
+				pick = p
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return -1, 0
+	}
+	return pick, randomChoice(s.Rng, sys, pick, s.ChoiceRandom)
+}
+
+// Weighted composes schedulers: each step it draws one member with
+// probability proportional to its weight and delegates the step to it.
+// Members keep their own state (a RoundRobin's cursor, a Latency's
+// clocks) and advance it only on the steps they win, so the mixture
+// interleaves genuinely different adversary styles within one run. A
+// member that declines (returns proc < 0, e.g. an exhausted Scripted)
+// falls through to the remaining members in order; the mixer stops only
+// when every member declines.
+//
+// Weighted also implements FaultInjector: NextCrash asks each member
+// that is itself a FaultInjector, in order, and returns the first
+// proposed victim — so a Crasher can be a mixture member as well as a
+// wrapper around the whole mixer.
+type Weighted struct {
+	// Rng draws the per-step member; required when weights differ or
+	// more than one member is present.
+	Rng *rand.Rand
+	// Members are the mixture components.
+	Members []WeightedMember
+}
+
+// WeightedMember pairs a scheduler with its selection weight. A weight
+// <= 0 never wins the draw but still answers fall-through delegation
+// and NextCrash.
+type WeightedMember struct {
+	S Scheduler
+	W float64
+}
+
+// NewWeighted mixes schedulers with equal weight, seeded with seed.
+func NewWeighted(seed int64, members ...Scheduler) *Weighted {
+	w := &Weighted{Rng: rand.New(rand.NewSource(seed))}
+	for _, s := range members {
+		w.Members = append(w.Members, WeightedMember{S: s, W: 1})
+	}
+	return w
+}
+
+// Next implements Scheduler.
+func (w *Weighted) Next(sys *machine.System, t int) (int, int) {
+	if len(w.Members) == 0 {
+		return -1, 0
+	}
+	total := 0.0
+	for _, m := range w.Members {
+		if m.W > 0 {
+			total += m.W
+		}
+	}
+	start := 0
+	if total > 0 && w.Rng != nil {
+		r := w.Rng.Float64() * total
+		for i, m := range w.Members {
+			if m.W <= 0 {
+				continue
+			}
+			if r -= m.W; r < 0 {
+				start = i
+				break
+			}
+		}
+	}
+	for i := 0; i < len(w.Members); i++ {
+		if p, c := w.Members[(start+i)%len(w.Members)].S.Next(sys, t); p >= 0 {
+			return p, c
+		}
+	}
+	return -1, 0
+}
+
+// NextCrash implements FaultInjector.
+func (w *Weighted) NextCrash(sys *machine.System, t int) int {
+	for _, m := range w.Members {
+		if inj, ok := m.S.(FaultInjector); ok {
+			if v := inj.NextCrash(sys, t); v >= 0 {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// ZooNames lists every scheduler name the campaign runner sweeps by
+// default, fair baselines first. NewByName additionally accepts "solo".
+func ZooNames() []string {
+	return []string{"rr", "random", "coverer", "exp", "pareto", "bursty", "starver", "mixed"}
+}
+
+// NewByName constructs a scheduler from its command-line name. n is the
+// processor count (only solo needs it), seed drives every random draw,
+// and choiceRandom exposes pending nondeterministic choices to the
+// schedulers that sample them. The "mixed" mixture splits the seed per
+// member (SplitSeed), so its components are reproducible but mutually
+// decorrelated.
+func NewByName(name string, n int, seed int64, choiceRandom bool) (Scheduler, error) {
+	switch name {
+	case "rr":
+		return &RoundRobin{}, nil
+	case "random":
+		r := NewRandom(seed)
+		r.ChoiceRandom = choiceRandom
+		return r, nil
+	case "solo":
+		return NewSolo(n), nil
+	case "coverer":
+		return &Coverer{Rng: rand.New(rand.NewSource(seed))}, nil
+	case "exp", "pareto":
+		dist := ExpLatency
+		if name == "pareto" {
+			dist = ParetoLatency
+		}
+		l := NewLatency(dist, seed)
+		l.ChoiceRandom = choiceRandom
+		return l, nil
+	case "bursty":
+		b := NewBursty(seed)
+		b.ChoiceRandom = choiceRandom
+		return b, nil
+	case "starver":
+		s := NewStarver(seed)
+		s.ChoiceRandom = choiceRandom
+		return s, nil
+	case "mixed":
+		r := NewRandom(SplitSeed(seed, StreamMember))
+		r.ChoiceRandom = choiceRandom
+		cov := &Coverer{Rng: rand.New(rand.NewSource(SplitSeed(seed, StreamMember+1)))}
+		b := NewBursty(SplitSeed(seed, StreamMember+2))
+		b.ChoiceRandom = choiceRandom
+		st := NewStarver(SplitSeed(seed, StreamMember+3))
+		st.ChoiceRandom = choiceRandom
+		return NewWeighted(seed, r, cov, b, st), nil
+	}
+	return nil, fmt.Errorf("sched: unknown scheduler %q (have rr | random | solo | coverer | exp | pareto | bursty | starver | mixed)", name)
+}
+
+var (
+	_ Scheduler     = (*Latency)(nil)
+	_ Scheduler     = (*Bursty)(nil)
+	_ Scheduler     = (*Starver)(nil)
+	_ Scheduler     = (*Weighted)(nil)
+	_ FaultInjector = (*Weighted)(nil)
+)
