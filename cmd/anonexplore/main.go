@@ -139,7 +139,7 @@ func main() {
 		addr, err := obs.Serve(*httpAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anonexplore:", err)
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		fmt.Fprintf(os.Stderr, "anonexplore: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", addr)
 	}
@@ -149,7 +149,7 @@ func main() {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anonexplore:", err)
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		traceFile, tr = f, span.New(f)
 	}
@@ -159,7 +159,7 @@ func main() {
 		f, err := os.Create(*eventsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anonexplore:", err)
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		eventsFile, events = f, obs.NewSink(f)
 	}
@@ -220,7 +220,7 @@ func main() {
 		rep.AddMetrics(reg)
 		if err := rep.WriteFile(*reportPath); err != nil {
 			fmt.Fprintln(os.Stderr, "anonexplore:", err)
-			os.Exit(1)
+			os.Exit(exitcode.Error)
 		}
 		fmt.Fprintf(os.Stderr, "anonexplore: wrote report to %s\n", *reportPath)
 	}

@@ -1,7 +1,7 @@
 // Command anonlint runs the repository's model-invariant static
-// analyzers (internal/lint): anonymity, regaccess, determinism and
-// fpwidth. See each analyzer's package documentation — or
-// "anonlint help" — for the invariant it encodes.
+// analyzers (internal/lint): anonymity, regaccess, determinism,
+// fpwidth, taint, waitfree and exitcode. See each analyzer's package
+// documentation — or "anonlint help" — for the invariant it encodes.
 //
 // It is usable two ways:
 //
@@ -9,23 +9,38 @@
 //	go vet -vettool=$(which anonlint) ./... # as a vet tool
 //
 // Both modes run the same modular unitchecker analysis. Standalone
-// invocations re-execute themselves through "go vet -vettool", which
-// supplies export data and type information per compilation unit, so the
-// tool needs no package loader of its own and works offline. Analyzer
-// flags pass through in both modes, e.g.:
+// invocations re-execute themselves through "go vet -vettool" (with
+// -mod=vendor when the module vendors its dependencies, so the run
+// works offline regardless of GOFLAGS), which supplies export data and
+// type information per compilation unit. Analyzer flags pass through,
+// e.g.:
 //
 //	anonlint -regaccess.allow=internal/anonmem,mypkg ./...
+//
+// CI-grade reporting flags, handled by anonlint itself:
+//
+//	-sarif file        write findings as SARIF 2.1.0 ("-" for stdout)
+//	-baseline file     tolerate the findings recorded in the baseline;
+//	                   only new findings fail the run
+//	-write-baseline    rewrite the -baseline file to cover the current
+//	                   findings, then exit clean
+//	-fix               apply the analyzers' suggested fixes to the
+//	                   source files (e.g. exitcode's literal rewrites)
 //
 // Suppress a single finding with a justified directive on (or directly
 // above) the offending line:
 //
 //	start := time.Now() //lint:ignore anonlint/determinism wall time only feeds Stats
 //
-// Exit status: 0 when clean, non-zero when findings are reported (the
-// "go vet" convention), 2 on usage errors.
+// Exit status follows internal/exitcode: 0 clean, 3 when findings are
+// reported (the check ran; the model is broken), 1 on operational
+// errors, 2 on usage errors. In plain passthrough mode (none of the
+// reporting flags) the exit status of go vet is forwarded unchanged.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -33,7 +48,10 @@ import (
 
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"anonshm/internal/exitcode"
 	"anonshm/internal/lint"
+	"anonshm/internal/lint/sarif"
+	"anonshm/internal/lint/vetjson"
 )
 
 func main() {
@@ -42,25 +60,222 @@ func main() {
 		unitchecker.Main(lint.Suite()...) // never returns
 	}
 
-	// Standalone mode: let "go vet" drive this same binary as its
-	// vettool. vet handles package loading, export data, caching and
-	// diagnostic printing; we only forward flags and the exit status.
+	opts, rest, err := parseWrapperFlags(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anonlint:", err)
+		os.Exit(exitcode.Usage)
+	}
+
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anonlint:", err)
-		os.Exit(2)
+		os.Exit(exitcode.Error)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
+
+	if !opts.active() {
+		// Plain passthrough: let go vet print diagnostics and forward its
+		// exit status verbatim.
+		cmd := exec.Command("go", vetArgs(self, haveVendor(), false, rest)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Stdin = os.Stdin
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintln(os.Stderr, "anonlint:", err)
+			os.Exit(exitcode.Error)
 		}
-		fmt.Fprintln(os.Stderr, "anonlint:", err)
-		os.Exit(2)
+		return
 	}
+
+	os.Exit(runReporting(self, opts, rest))
+}
+
+// wrapperOpts are the flags anonlint consumes itself rather than
+// forwarding to go vet.
+type wrapperOpts struct {
+	sarifOut      string
+	baselinePath  string
+	writeBaseline bool
+	fix           bool
+}
+
+func (o wrapperOpts) active() bool {
+	return o.sarifOut != "" || o.baselinePath != "" || o.writeBaseline || o.fix
+}
+
+// parseWrapperFlags splits anonlint's own flags from the arguments
+// forwarded to go vet. Manual parsing keeps unknown analyzer flags
+// (-taint.allow=..., -determinism.packages=...) flowing through
+// untouched.
+func parseWrapperFlags(args []string) (wrapperOpts, []string, error) {
+	var opts wrapperOpts
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, val, hasVal := strings.Cut(strings.TrimPrefix(a, "-"), "=")
+		takeVal := func() (string, error) {
+			if hasVal {
+				return val, nil
+			}
+			if i+1 >= len(args) {
+				return "", fmt.Errorf("flag -%s needs a value", name)
+			}
+			i++
+			return args[i], nil
+		}
+		switch {
+		case !strings.HasPrefix(a, "-"):
+			rest = append(rest, a)
+		case name == "sarif":
+			v, err := takeVal()
+			if err != nil {
+				return opts, nil, err
+			}
+			opts.sarifOut = v
+		case name == "baseline":
+			v, err := takeVal()
+			if err != nil {
+				return opts, nil, err
+			}
+			opts.baselinePath = v
+		case name == "write-baseline":
+			opts.writeBaseline = true
+		case name == "fix":
+			opts.fix = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if opts.writeBaseline && opts.baselinePath == "" {
+		return opts, nil, fmt.Errorf("-write-baseline needs -baseline <file>")
+	}
+	return opts, rest, nil
+}
+
+// vetArgs builds the go vet invocation. vendorMode pins -mod=vendor so
+// the re-exec resolves imports from vendor/ even when GOFLAGS is empty
+// (the go vet default is -mod=readonly, which wants the module cache —
+// absent on offline machines).
+func vetArgs(self string, vendorMode, jsonMode bool, rest []string) []string {
+	args := []string{"vet"}
+	if vendorMode {
+		args = append(args, "-mod=vendor")
+	}
+	if jsonMode {
+		args = append(args, "-json")
+	}
+	args = append(args, "-vettool="+self)
+	return append(args, rest...)
+}
+
+// haveVendor reports whether the working directory's module vendors its
+// dependencies.
+func haveVendor() bool {
+	st, err := os.Stat("vendor/modules.txt")
+	return err == nil && !st.IsDir()
+}
+
+// runReporting drives go vet -json and post-processes the findings:
+// baseline diffing, SARIF output, fix application. Returns the process
+// exit code.
+func runReporting(self string, opts wrapperOpts, rest []string) int {
+	cmd := exec.Command("go", vetArgs(self, haveVendor(), true, rest)...)
+	var vetOut bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &vetOut // go vet -json streams to stderr
+	runErr := cmd.Run()
+
+	findings, parseErr := vetjson.Parse(bytes.NewReader(vetOut.Bytes()))
+	if parseErr != nil {
+		fmt.Fprintln(os.Stderr, "anonlint:", parseErr)
+		return exitcode.Error
+	}
+	if runErr != nil && len(findings) == 0 {
+		// go vet failed without producing findings (bad pattern, broken
+		// package): its stderr already went through Parse, which keeps
+		// only JSON — re-show the raw output.
+		fmt.Fprint(os.Stderr, vetOut.String())
+		fmt.Fprintln(os.Stderr, "anonlint:", runErr)
+		return exitcode.Error
+	}
+
+	cwd, _ := os.Getwd()
+
+	if opts.writeBaseline {
+		if err := vetjson.NewBaseline(findings, cwd).Save(opts.baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "anonlint:", err)
+			return exitcode.Error
+		}
+		fmt.Fprintf(os.Stderr, "anonlint: baseline %s covers %d finding(s)\n", opts.baselinePath, len(findings))
+		return exitcode.OK
+	}
+
+	fresh := findings
+	if opts.baselinePath != "" {
+		base, err := vetjson.LoadBaseline(opts.baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonlint:", err)
+			return exitcode.Error
+		}
+		var tolerated []vetjson.Finding
+		fresh, tolerated = base.Filter(findings, cwd)
+		if len(tolerated) > 0 {
+			fmt.Fprintf(os.Stderr, "anonlint: %d baselined finding(s) tolerated (%s)\n",
+				len(tolerated), opts.baselinePath)
+		}
+	}
+
+	if opts.sarifOut != "" {
+		if err := writeSARIF(opts.sarifOut, fresh, cwd); err != nil {
+			fmt.Fprintln(os.Stderr, "anonlint:", err)
+			return exitcode.Error
+		}
+	}
+
+	for _, f := range fresh {
+		fmt.Fprintf(os.Stderr, "%s: %s (anonlint/%s)\n", f.Posn, f.Message, f.Analyzer)
+	}
+
+	if opts.fix {
+		changed, err := vetjson.ApplyFixes(fresh)
+		for _, file := range changed {
+			fmt.Fprintf(os.Stderr, "anonlint: fixed %s\n", file)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonlint:", err)
+			return exitcode.Error
+		}
+	}
+
+	if len(fresh) > 0 {
+		return exitcode.Violation
+	}
+	return exitcode.OK
+}
+
+// writeSARIF renders findings as a SARIF 2.1.0 log, validates the bytes
+// it is about to write, and writes them to path ("-" for stdout).
+func writeSARIF(path string, findings []vetjson.Finding, dir string) error {
+	var rules []sarif.RuleMeta
+	for _, a := range lint.Suite() {
+		rules = append(rules, sarif.RuleMeta{Name: a.Name, Doc: a.Doc})
+	}
+	log := sarif.FromFindings(findings, rules, dir)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := sarif.Validate(data); err != nil {
+		return fmt.Errorf("refusing to write invalid SARIF: %w", err)
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // vetProtocol reports whether the arguments follow the vettool protocol

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestVetArgsVendorMode pins the -mod=vendor threading: the module
+// vendors x/tools, and the vet re-exec must say so explicitly — the
+// go vet default is -mod=readonly, which consults the module cache and
+// fails on offline machines whenever GOFLAGS doesn't happen to carry
+// -mod=vendor for it.
+func TestVetArgsVendorMode(t *testing.T) {
+	got := vetArgs("/bin/anonlint", true, false, []string{"./..."})
+	want := []string{"vet", "-mod=vendor", "-vettool=/bin/anonlint", "./..."}
+	if !slices.Equal(got, want) {
+		t.Errorf("vendor mode: got %v, want %v", got, want)
+	}
+	got = vetArgs("/bin/anonlint", false, true, []string{"-taint.allow=x", "./..."})
+	want = []string{"vet", "-json", "-vettool=/bin/anonlint", "-taint.allow=x", "./..."}
+	if !slices.Equal(got, want) {
+		t.Errorf("json mode without vendor: got %v, want %v", got, want)
+	}
+}
+
+func TestParseWrapperFlags(t *testing.T) {
+	opts, rest, err := parseWrapperFlags([]string{
+		"-sarif", "out.sarif", "-baseline=lint-baseline.json", "-fix",
+		"-determinism.packages=internal/explore", "./...",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.sarifOut != "out.sarif" || opts.baselinePath != "lint-baseline.json" || !opts.fix || opts.writeBaseline {
+		t.Errorf("opts = %+v", opts)
+	}
+	want := []string{"-determinism.packages=internal/explore", "./..."}
+	if !slices.Equal(rest, want) {
+		t.Errorf("rest = %v, want %v", rest, want)
+	}
+
+	if _, _, err := parseWrapperFlags([]string{"-write-baseline"}); err == nil {
+		t.Error("-write-baseline without -baseline must be a usage error")
+	}
+	if _, _, err := parseWrapperFlags([]string{"-sarif"}); err == nil {
+		t.Error("-sarif without a value must be a usage error")
+	}
+}
+
+// TestStandaloneReexecEmptyGOFLAGS is the regression test for the
+// standalone mode's missing -mod=vendor: with GOFLAGS scrubbed, the
+// re-exec through go vet must still resolve the vendored x/tools —
+// before the fix it ran go vet in -mod=readonly and died looking for
+// the module cache.
+func TestStandaloneReexecEmptyGOFLAGS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and re-execs the binary")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "anonlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/anonlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building anonlint: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "./internal/exitcode/")
+	cmd.Dir = root
+	cmd.Env = scrubbed(os.Environ())
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("anonlint with empty GOFLAGS failed: %v\n%s", err, out)
+	}
+}
+
+// scrubbed empties GOFLAGS so nothing smuggles -mod=vendor in from the
+// developer's environment.
+func scrubbed(env []string) []string {
+	out := env[:0:0]
+	for _, e := range env {
+		if strings.HasPrefix(e, "GOFLAGS=") {
+			continue
+		}
+		out = append(out, e)
+	}
+	return append(out, "GOFLAGS=")
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Dir(strings.TrimSpace(string(out))), nil
+}

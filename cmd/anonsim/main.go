@@ -78,14 +78,14 @@ func main() {
 		tracePath  = flag.String("trace-file", "", "write a Chrome trace_event JSON trace of the run to this file (load in Perfetto)")
 		ledgerPath = flag.String("ledger", "", "append a run-history entry to this JSONL ledger (conventionally "+ledger.DefaultPath+")")
 
-		campaign     = flag.Bool("campaign", false, "run a Monte-Carlo campaign: sweep seeds x schedulers x N x wirings x crash budgets in parallel, validating every run")
-		campAlgos    = flag.String("algos", "snapshot,renaming", "campaign: comma-separated algorithms to sweep")
-		campNs       = flag.String("ns", "2,3", "campaign: comma-separated processor counts to sweep")
-		campWirings  = flag.String("wirings", "identity,rotation,random", "campaign: comma-separated wirings to sweep")
-		campScheds   = flag.String("schedulers", strings.Join(sched.ZooNames(), ","), "campaign: comma-separated schedulers to sweep")
-		campSeeds    = flag.Int("seeds", 50, "campaign: seeds per cell (run seeds are -seed, -seed+1, ...)")
-		campBudgets  = flag.String("crash-budgets", "auto", "campaign: comma-separated crash budgets, or auto for 0..N-1 at each N")
-		campWorkers  = flag.Int("workers", 0, "campaign: parallel workers (0 = GOMAXPROCS)")
+		campaign    = flag.Bool("campaign", false, "run a Monte-Carlo campaign: sweep seeds x schedulers x N x wirings x crash budgets in parallel, validating every run")
+		campAlgos   = flag.String("algos", "snapshot,renaming", "campaign: comma-separated algorithms to sweep")
+		campNs      = flag.String("ns", "2,3", "campaign: comma-separated processor counts to sweep")
+		campWirings = flag.String("wirings", "identity,rotation,random", "campaign: comma-separated wirings to sweep")
+		campScheds  = flag.String("schedulers", strings.Join(sched.ZooNames(), ","), "campaign: comma-separated schedulers to sweep")
+		campSeeds   = flag.Int("seeds", 50, "campaign: seeds per cell (run seeds are -seed, -seed+1, ...)")
+		campBudgets = flag.String("crash-budgets", "auto", "campaign: comma-separated crash budgets, or auto for 0..N-1 at each N")
+		campWorkers = flag.Int("workers", 0, "campaign: parallel workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	reg := obs.New()
@@ -93,7 +93,7 @@ func main() {
 		addr, err := obs.Serve(*httpAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anonsim:", err)
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		fmt.Fprintf(os.Stderr, "anonsim: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", addr)
 	}
@@ -102,7 +102,7 @@ func main() {
 		f, err := os.Create(*eventsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anonsim:", err)
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		defer f.Close()
 		sink = obs.NewSink(f)
@@ -113,7 +113,7 @@ func main() {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anonsim:", err)
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		traceFile, tr = f, span.New(f)
 	}
@@ -195,7 +195,7 @@ func main() {
 		rep.AddMetrics(reg)
 		if err := rep.WriteFile(*reportPath); err != nil {
 			fmt.Fprintln(os.Stderr, "anonsim:", err)
-			os.Exit(1)
+			os.Exit(exitcode.Error)
 		}
 		fmt.Fprintf(os.Stderr, "anonsim: wrote report to %s\n", *reportPath)
 	}

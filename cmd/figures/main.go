@@ -76,7 +76,7 @@ func main() {
 	if *load != "" {
 		if err := runLoad(strings.Split(*load, ",")); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			os.Exit(exitcode.Error)
 		}
 		return
 	}
@@ -91,14 +91,14 @@ func main() {
 		fmt.Printf("== %s — %s\n\n", ex.name, ex.about)
 		if err := ex.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", ex.name, err)
-			os.Exit(1)
+			os.Exit(exitcode.Error)
 		}
 		fmt.Println()
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (have: %s)\n", *which, names())
-		os.Exit(1)
+		os.Exit(exitcode.Error)
 	}
 }
 

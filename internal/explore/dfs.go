@@ -149,6 +149,11 @@ func runDFS(init *machine.System, opts Options) (Result, error) {
 					return finish(), fmt.Errorf("explore: resume: replaying stack frame %d: %w", i, err)
 				}
 			}
+			// The restored aux fold may carry proc-keyed data (crash
+			// masks); canon mirrors it jointly with the processor
+			// permutation π, so the fingerprint stays orbit-invariant.
+			// Observer-side state, not machine state.
+			//lint:ignore anonlint/taint aux fold is canonicalized jointly with π (canon.Key); observer-side, orbit-invariant by construction
 			fp := opts.hasher.Fingerprint(sys, sf.Aux)
 			onStack[fp] = struct{}{}
 			stack = append(stack, frame{
@@ -253,6 +258,11 @@ func runDFS(init *machine.System, opts Options) (Result, error) {
 		if opts.Aux != nil {
 			aux = opts.Aux(aux, info, succ)
 		}
+		// aux folds the crash adversary's proc-keyed mask into the state
+		// key on purpose: canon applies the same π to the mask and to
+		// the registers, so equal fingerprints mean symmetric states.
+		// This is the explorer (observer), not machine code.
+		//lint:ignore anonlint/taint aux fold is canonicalized jointly with π (canon.Key); observer-side, orbit-invariant by construction
 		fp := opts.hasher.Fingerprint(succ, aux)
 		res.Stats.DedupLookups++
 		if _, grey := onStack[fp]; grey {

@@ -39,7 +39,6 @@ package anonymity
 import (
 	"go/ast"
 	"go/types"
-	"regexp"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/types/typeutil"
@@ -60,13 +59,9 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// identityName matches parameter/field names that conventionally carry a
-// processor identity.
-var identityName = regexp.MustCompile(`(?i)^(p|pid|proc|procid|procidx|rank|me|self|myid|id)$`)
-
 func run(pass *analysis.Pass) (any, error) {
 	rep := lintutil.NewReporter(pass, name)
-	machines := machineTypes(pass.Pkg)
+	machines := lintutil.MachineTypes(pass.Pkg)
 	if len(machines) == 0 {
 		return nil, nil
 	}
@@ -89,43 +84,6 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// machineShaped reports whether t's method set (or that of *t) contains
-// the machine step protocol: Pending, Advance and Done. Matching by
-// shape rather than by types.Implements keeps the analyzer independent
-// of the concrete machine package, so it works identically on the real
-// tree and on self-contained testdata.
-func machineShaped(t types.Type) bool {
-	has := map[string]bool{}
-	for _, ms := range []*types.MethodSet{
-		types.NewMethodSet(t),
-		types.NewMethodSet(types.NewPointer(t)),
-	} {
-		for i := 0; i < ms.Len(); i++ {
-			has[ms.At(i).Obj().Name()] = true
-		}
-	}
-	return has["Pending"] && has["Advance"] && has["Done"]
-}
-
-// machineTypes returns the named types declared in pkg that implement
-// the machine step protocol.
-func machineTypes(pkg *types.Package) map[*types.TypeName]bool {
-	out := map[*types.TypeName]bool{}
-	for _, name := range pkg.Scope().Names() {
-		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
-		if !ok || tn.IsAlias() {
-			continue
-		}
-		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
-			continue // the Machine interface itself is not an implementation
-		}
-		if machineShaped(tn.Type()) {
-			out[tn] = true
-		}
-	}
-	return out
-}
-
 func isPlainInt(t types.Type) bool {
 	b, ok := t.(*types.Basic)
 	return ok && b.Info()&types.IsInteger != 0
@@ -142,7 +100,7 @@ func checkStructFields(pass *analysis.Pass, rep *lintutil.Reporter, tn *types.Ty
 			continue
 		}
 		switch {
-		case identityName.MatchString(f.Name()) && isPlainInt(f.Type()):
+		case lintutil.IdentityName.MatchString(f.Name()) && isPlainInt(f.Type()):
 			rep.Reportf(f.Pos(),
 				"machine %s stores a processor-identity field %q; anonymous processors run identical code and must not know their index (PAPER.md §2)",
 				tn.Name(), f.Name())
@@ -176,7 +134,7 @@ func checkConstructor(pass *analysis.Pass, rep *lintutil.Reporter, fd *ast.FuncD
 			}
 			t = p.Elem()
 		}
-		if machineShaped(t) {
+		if lintutil.MachineShaped(t) {
 			returnsMachine = true
 			break
 		}
@@ -186,7 +144,7 @@ func checkConstructor(pass *analysis.Pass, rep *lintutil.Reporter, fd *ast.FuncD
 	}
 	for i := 0; i < sig.Params().Len(); i++ {
 		p := sig.Params().At(i)
-		if identityName.MatchString(p.Name()) && isPlainInt(p.Type()) {
+		if lintutil.IdentityName.MatchString(p.Name()) && isPlainInt(p.Type()) {
 			rep.Reportf(p.Pos(),
 				"machine constructor %s takes a processor-identity parameter %q; identity may enter a machine only through the scheduler/permutation, never its code (PAPER.md §2)",
 				fd.Name.Name, p.Name())

@@ -9,7 +9,9 @@
 // the analyzer flags the three classic sources of silent run-to-run
 // variation:
 //
-//   - iteration over a map (unordered by language definition);
+//   - iteration over a map (unordered by language definition),
+//     including the Go 1.23 iterator forms — range over maps.Keys(m) or
+//     maps.Values(m) is the same unordered walk behind an iter.Seq;
 //   - time.Now on an exploration path;
 //   - the global math/rand source (rand.Intn and friends); a seeded
 //     *rand.Rand obtained from rand.New(rand.NewSource(seed)) is fine.
@@ -93,6 +95,11 @@ func checkStmts(pass *analysis.Pass, rep *lintutil.Reporter, stmts []ast.Stmt) {
 			continue
 		}
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			if fn := mapsIterCallee(pass, rs.X); fn != "" {
+				rep.Reportf(rs.Pos(),
+					"range over maps.%s visits the map in nondeterministic order, exactly like a bare map range; collect with slices.Sorted(maps.%s(m)) before anything that feeds state enumeration, traces or fingerprints",
+					fn, fn)
+			}
 			continue
 		}
 		if i+1 < len(stmts) && isSortCall(pass, stmts[i+1]) {
@@ -102,6 +109,24 @@ func checkStmts(pass *analysis.Pass, rep *lintutil.Reporter, stmts []ast.Stmt) {
 			"iteration over map %s has nondeterministic order; sort the keys (or use a slice) before anything that feeds state enumeration, traces or fingerprints",
 			types.TypeString(t, types.RelativeTo(pass.Pkg)))
 	}
+}
+
+// mapsIterCallee reports whether e is a call to the standard maps
+// package's iterator constructors Keys or Values (the Go 1.23 forms that
+// hide a map walk behind an iter.Seq), returning the function name.
+func mapsIterCallee(pass *analysis.Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	f, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "maps" {
+		return ""
+	}
+	if f.Name() == "Keys" || f.Name() == "Values" {
+		return f.Name()
+	}
+	return ""
 }
 
 // isSortCall reports whether s is a statement calling into the sort or

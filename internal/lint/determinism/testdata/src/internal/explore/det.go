@@ -4,7 +4,9 @@
 package explore
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 )
@@ -38,6 +40,35 @@ func SortedIteration(outs map[string]int) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// IterKeys hides the same unordered walk behind the Go 1.23 iterator —
+// flagged like a bare map range.
+func IterKeys(outs map[int]string) int {
+	n := 0
+	for k := range maps.Keys(outs) { // want `range over maps\.Keys visits the map in nondeterministic order`
+		n += k
+	}
+	return n
+}
+
+// IterValues likewise for the values iterator.
+func IterValues(outs map[int]string) string {
+	acc := ""
+	for v := range maps.Values(outs) { // want `range over maps\.Values visits the map in nondeterministic order`
+		acc += v
+	}
+	return acc
+}
+
+// SortedIterKeys is the deterministic iterator idiom: materialize and
+// sort in one expression. The range is over a sorted slice — not flagged.
+func SortedIterKeys(outs map[int]string) int {
+	n := 0
+	for _, k := range slices.Sorted(maps.Keys(outs)) {
+		n += k
+	}
+	return n
 }
 
 // SliceIteration is ordered — never flagged.

@@ -1,0 +1,183 @@
+// Package exitcode implements the anonlint/exitcode analyzer.
+//
+// The anonshm binaries share a process-exit convention (package
+// internal/exitcode): 0 OK, 1 Error, 2 Usage, 3 Violation, 4
+// Regression, 5 Stalled. Scripts and CI branch on these codes — "the
+// check found a counterexample" (3) is actionable in a completely
+// different way than "the invocation was wrong" (2) — so a bare
+// os.Exit(2) in a main package is a latent divergence: the number is
+// right today and silently wrong the day the convention shifts.
+//
+// The analyzer checks main packages under cmd/ (matched by import path,
+// so it never fires on library code) and flags:
+//
+//   - os.Exit with a literal integer argument — with a suggested fix
+//     replacing the literal by the matching exitcode constant
+//     (os.Exit(2) → os.Exit(exitcode.Usage)), applied by anonlint -fix;
+//     the first fix in a file that doesn't yet import exitcode also
+//     inserts the import, so the fixed file compiles;
+//   - log.Fatal / log.Fatalf / log.Fatalln — these always exit with
+//     status 1, bypassing the convention entirely; print to stderr and
+//     os.Exit(exitcode.Error) instead.
+//
+// Arguments that are already expressions — exitcode constants,
+// exitcode.Code(err), a forwarded child status — are accepted; the
+// analyzer only distrusts literals.
+package exitcode
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"anonshm/internal/lint/lintutil"
+)
+
+const name = "exitcode"
+
+// Analyzer is the anonlint/exitcode analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "route cmd/* exit statuses through the internal/exitcode constants\n\n" +
+		"The binaries' exit codes are a script-visible API (0 OK … 5 Stalled). os.Exit with a " +
+		"bare literal, or log.Fatal* (always status 1), bypasses the convention; use the " +
+		"exitcode constants or exitcode.Code(err).",
+	Run: run,
+}
+
+// constants maps literal exit statuses to the internal/exitcode constant
+// names, in code order.
+var constants = [...]string{"OK", "Error", "Usage", "Violation", "Regression", "Stalled"}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inCmd(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass, name)
+	lintutil.WalkFiles(pass, func(f *ast.File) {
+		// The first fix in a file that doesn't import exitcode also
+		// carries the import insertion, so anonlint -fix leaves the
+		// file compiling; later fixes in the same file omit it (all
+		// fixes are applied together, and duplicate insertions at one
+		// offset would collide).
+		imp := importEdit(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			switch {
+			case fn.FullName() == "os.Exit" && len(call.Args) == 1:
+				if checkExitArg(pass, rep, call.Args[0], imp) {
+					imp = nil
+				}
+			case strings.HasPrefix(fn.FullName(), "log.Fatal"):
+				rep.Reportf(call.Pos(),
+					"%s exits with status 1 behind the exitcode convention's back; print to stderr and os.Exit(exitcode.Error) so scripts can trust the code",
+					fn.FullName())
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// inCmd reports whether path names a package under a cmd/ tree.
+func inCmd(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+// checkExitArg flags a literal status argument, attaching a fix that
+// substitutes the matching exitcode constant (plus imp, the pending
+// import insertion, if non-nil). It reports whether an unsuppressed
+// fix-bearing diagnostic was emitted, i.e. whether imp was consumed.
+func checkExitArg(pass *analysis.Pass, rep *lintutil.Reporter, arg ast.Expr, imp *analysis.TextEdit) bool {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	code, ok := constant.Int64Val(tv.Value)
+	if !ok || code < 0 || int(code) >= len(constants) {
+		rep.Reportf(arg.Pos(),
+			"os.Exit with literal status %s outside the exitcode convention (0 OK … 5 Stalled); use an internal/exitcode constant", lit.Value)
+		return false
+	}
+	if rep.Suppressed(arg.Pos()) {
+		return false
+	}
+	edits := []analysis.TextEdit{{
+		Pos:     lit.Pos(),
+		End:     lit.End(),
+		NewText: []byte("exitcode." + constants[code]),
+	}}
+	if imp != nil {
+		edits = append(edits, *imp)
+	}
+	rep.Report(analysis.Diagnostic{
+		Pos: arg.Pos(),
+		Message: fmt.Sprintf(
+			"os.Exit with bare literal %d; use exitcode.%s so the script-visible exit convention has one definition (internal/exitcode)",
+			code, constants[code]),
+		SuggestedFixes: []analysis.SuggestedFix{{
+			Message:   fmt.Sprintf("replace %d with exitcode.%s", code, constants[code]),
+			TextEdits: edits,
+		}},
+	})
+	return true
+}
+
+// importEdit returns a TextEdit inserting the exitcode import into f,
+// or nil if f already imports a package named (or aliased) exitcode.
+// The import path is taken from whatever exitcode package the rest of
+// the package under analysis imports, defaulting to the real one.
+func importEdit(pass *analysis.Pass, f *ast.File) *analysis.TextEdit {
+	for _, spec := range f.Imports {
+		p, _ := strconv.Unquote(spec.Path.Value)
+		local := p
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			local = p[i+1:]
+		}
+		if spec.Name != nil {
+			local = spec.Name.Name
+		}
+		if local == "exitcode" {
+			return nil
+		}
+	}
+	path := "anonshm/internal/exitcode"
+	for _, dep := range pass.Pkg.Imports() {
+		if dep.Name() == "exitcode" {
+			path = dep.Path()
+			break
+		}
+	}
+	for _, d := range f.Decls {
+		g, ok := d.(*ast.GenDecl)
+		if !ok || g.Tok != token.IMPORT {
+			continue
+		}
+		if g.Rparen.IsValid() {
+			return &analysis.TextEdit{Pos: g.Rparen, End: g.Rparen,
+				NewText: []byte("\t" + strconv.Quote(path) + "\n")}
+		}
+		return &analysis.TextEdit{Pos: g.End(), End: g.End(),
+			NewText: []byte("\nimport " + strconv.Quote(path))}
+	}
+	return &analysis.TextEdit{Pos: f.Name.End(), End: f.Name.End(),
+		NewText: []byte("\n\nimport " + strconv.Quote(path))}
+}

@@ -1,0 +1,85 @@
+package exitcode_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"anonshm/internal/lint/exitcode"
+	"anonshm/internal/lint/linttest"
+)
+
+// TestGolden covers flagged literals (in and outside the 0–5
+// convention), log.Fatal*, accepted expression arguments, a justified
+// suppression, and silence on non-cmd packages.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "testdata", exitcode.Analyzer, "cmd/exitbad", "cmd/exitgood", "notcmd")
+}
+
+// TestSuggestedFixes applies the analyzer's text edits to the fixture
+// source and checks every in-convention literal is rewritten to its
+// exitcode constant — the same byte-offset application anonlint -fix
+// performs.
+func TestSuggestedFixes(t *testing.T) {
+	diags, fset := linttest.Diagnostics(t, "testdata", exitcode.Analyzer, "cmd/exitbad")
+
+	type edit struct {
+		start, end int
+		newText    string
+	}
+	var edits []edit
+	var file string
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				p, e := fset.Position(te.Pos), fset.Position(te.End)
+				if file == "" {
+					file = p.Filename
+				} else if file != p.Filename {
+					t.Fatalf("edits span files %s and %s", file, p.Filename)
+				}
+				edits = append(edits, edit{p.Offset, e.Offset, string(te.NewText)})
+			}
+		}
+	}
+	// 4 literal replacements, plus one import insertion carried by the
+	// first fix (the fixture doesn't import exitcode).
+	if len(edits) != 5 {
+		t.Fatalf("want 5 suggested edits (literals 0,1,2,3 + import), got %d", len(edits))
+	}
+
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply back-to-front so earlier offsets stay valid.
+	for i := range edits {
+		for j := i + 1; j < len(edits); j++ {
+			if edits[j].start > edits[i].start {
+				edits[i], edits[j] = edits[j], edits[i]
+			}
+		}
+	}
+	out := string(src)
+	for _, e := range edits {
+		out = out[:e.start] + e.newText + out[e.end:]
+	}
+	for _, want := range []string{
+		"os.Exit(exitcode.Usage)",
+		"os.Exit(exitcode.Error)",
+		"os.Exit(exitcode.Violation)",
+		"os.Exit(exitcode.OK)",
+		"\"anonshm/internal/exitcode\"\n)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fixed source lacks %q", want)
+		}
+	}
+	if strings.Contains(out, "os.Exit(2)") || strings.Contains(out, "os.Exit(0)") {
+		t.Errorf("fixed source still contains a bare convention literal:\n%s", out)
+	}
+	// The out-of-convention literal has no safe rewrite and must survive.
+	if !strings.Contains(out, "os.Exit(7)") {
+		t.Errorf("fixed source lost the out-of-convention literal 7")
+	}
+}

@@ -1,0 +1,28 @@
+// Command exitbad seeds every exit-path shape the exitcode analyzer
+// flags: bare literals in and outside the convention, and log.Fatal*.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+)
+
+func main() {
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		os.Exit(2) // want `os\.Exit with bare literal 2; use exitcode\.Usage`
+	}
+	if len(flag.Args()) == 0 {
+		os.Exit(1) // want `os\.Exit with bare literal 1; use exitcode\.Error`
+	}
+	if flag.Arg(0) == "violated" {
+		os.Exit(3) // want `os\.Exit with bare literal 3; use exitcode\.Violation`
+	}
+	if flag.Arg(0) == "weird" {
+		os.Exit(7) // want `os\.Exit with literal status 7 outside the exitcode convention`
+	}
+	if flag.Arg(0) == "fatal" {
+		log.Fatalf("boom: %s", flag.Arg(0)) // want `log\.Fatalf exits with status 1 behind the exitcode convention's back`
+	}
+	os.Exit(0) // want `os\.Exit with bare literal 0; use exitcode\.OK`
+}

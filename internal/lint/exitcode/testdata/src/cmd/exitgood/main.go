@@ -1,0 +1,30 @@
+// Command exitgood exits only through the convention: constants,
+// exitcode.Code, forwarded statuses, and one justified suppression.
+package main
+
+import (
+	"errors"
+	"os"
+
+	"exitcode"
+)
+
+func run() error { return errors.New("nope") }
+
+func forwarded() int { return 3 }
+
+func main() {
+	if len(os.Args) > 3 {
+		os.Exit(exitcode.Usage)
+	}
+	if len(os.Args) == 3 {
+		// Forwarding a status computed elsewhere is an expression, not a
+		// literal: accepted.
+		os.Exit(forwarded())
+	}
+	if len(os.Args) == 2 {
+		//lint:ignore anonlint/exitcode fixture: exec protocol of the wrapped tool mandates literal 64
+		os.Exit(64)
+	}
+	os.Exit(exitcode.Code(run()))
+}

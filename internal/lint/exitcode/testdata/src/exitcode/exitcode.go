@@ -1,0 +1,20 @@
+// Package exitcode is a stub of anonshm/internal/exitcode for the
+// analyzer's fixtures.
+package exitcode
+
+const (
+	OK         = 0
+	Error      = 1
+	Usage      = 2
+	Violation  = 3
+	Regression = 4
+	Stalled    = 5
+)
+
+// Code maps an error to an exit code.
+func Code(err error) int {
+	if err == nil {
+		return OK
+	}
+	return Error
+}

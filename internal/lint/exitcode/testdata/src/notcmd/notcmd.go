@@ -1,0 +1,11 @@
+// Package notcmd is library code: the exitcode analyzer only patrols
+// cmd/ packages, so this bare literal must stay silent.
+package notcmd
+
+import "os"
+
+// Die exits with a bare literal — questionable, but not this analyzer's
+// beat outside cmd/.
+func Die() {
+	os.Exit(2)
+}

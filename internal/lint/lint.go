@@ -16,13 +16,28 @@
 //     math/rand on exploration paths (replayable traces, cross-engine
 //     state-count equality, EXPERIMENTS.md E14);
 //   - anonlint/fpwidth — dynamic single-bit shifts are guarded against
-//     the 64-register fingerprint-word limit (anonshm.New's M ≤ 64).
+//     the 64-register fingerprint-word limit (anonshm.New's M ≤ 64);
+//   - anonlint/taint — interprocedural identity dataflow: processor
+//     indices, ghost writer fields, wiring permutations and crash masks
+//     must never reach machine state or fingerprint inputs, no matter
+//     how many helpers, closures or composite literals they pass
+//     through on the way (the deep version of anonymity's shape checks);
+//   - anonlint/waitfree — every loop reachable from a machine's
+//     Pending/Advance/Done has a statically bounded trip count, or a
+//     "//lint:bound reason" justification;
+//   - anonlint/exitcode — cmd/* binaries exit only through the
+//     internal/exitcode constants (0 OK … 5 Stalled), keeping the
+//     script-visible exit convention single-sourced.
 //
 // Findings are suppressed line-by-line with
-// "//lint:ignore anonlint/<name> reason"; see lintutil.
+// "//lint:ignore anonlint/<name> reason"; see lintutil. Legacy findings
+// can instead be tolerated via the committed lint-baseline.json
+// (anonlint -baseline), which names each finding individually.
 //
 // Run the suite with "make lint", "go run ./cmd/anonlint ./...", or
-// "go vet -vettool=$(which anonlint) ./...".
+// "go vet -vettool=$(which anonlint) ./...". "anonlint -sarif" emits
+// SARIF 2.1.0 for CI code-scanning; "anonlint -fix" applies the
+// analyzers' suggested fixes.
 package lint
 
 import (
@@ -30,8 +45,11 @@ import (
 
 	"anonshm/internal/lint/anonymity"
 	"anonshm/internal/lint/determinism"
+	"anonshm/internal/lint/exitcode"
 	"anonshm/internal/lint/fpwidth"
 	"anonshm/internal/lint/regaccess"
+	"anonshm/internal/lint/taint"
+	"anonshm/internal/lint/waitfree"
 )
 
 // Suite returns the anonlint analyzers in reporting order.
@@ -41,5 +59,8 @@ func Suite() []*analysis.Analyzer {
 		regaccess.Analyzer,
 		determinism.Analyzer,
 		fpwidth.Analyzer,
+		taint.Analyzer,
+		waitfree.Analyzer,
+		exitcode.Analyzer,
 	}
 }

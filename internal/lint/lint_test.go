@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anonshm/internal/lint"
+	"anonshm/internal/lint/linttest"
+)
+
+// TestSuiteHasSevenAnalyzers pins the suite composition; adding or
+// dropping an analyzer must be a deliberate edit here.
+func TestSuiteHasSevenAnalyzers(t *testing.T) {
+	want := []string{"anonymity", "regaccess", "determinism", "fpwidth", "taint", "waitfree", "exitcode"}
+	suite := lint.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestEachAnalyzerFiresExactlyOnce runs every suite analyzer over the
+// shared seeded-violations fixture (internal/core + cmd/seeded) and
+// asserts exactly one finding each. This is the cross-analyzer
+// interference check: a violation seeded for one analyzer must not
+// produce a bonus finding in another (e.g. the taint helper leak must
+// not also trip anonymity, the waitfree spin must not read as a
+// determinism problem), and every analyzer must see through the same
+// shared package without the others' seeds masking its own.
+func TestEachAnalyzerFiresExactlyOnce(t *testing.T) {
+	pkgs := []string{"internal/core", "cmd/seeded"}
+	for _, a := range lint.Suite() {
+		t.Run(a.Name, func(t *testing.T) {
+			var total []linttest.Finding
+			for _, pkg := range pkgs {
+				total = append(total, linttest.Findings(t, "testdata", a, pkg)...)
+			}
+			if len(total) != 1 {
+				t.Errorf("analyzer %s: want exactly 1 finding on the seeded fixture, got %d: %+v",
+					a.Name, len(total), total)
+			}
+		})
+	}
+}

@@ -75,6 +75,20 @@ func Findings(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath strin
 	return out
 }
 
+// Diagnostics loads one package path from testdata/src, applies the
+// analyzer, and returns the raw diagnostics together with the FileSet
+// that positions them — for tests that assert on SuggestedFixes or
+// apply them to source text.
+func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
+	l := newLoader(testdata)
+	pkg, err := l.Import(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	return runAnalyzer(t, l, a, pkg), l.fset
+}
+
 // loader loads testdata packages by import path, memoized, delegating
 // unknown paths to the standard-library source importer.
 type loader struct {

@@ -7,16 +7,25 @@
 //	//lint:ignore anonlint/<analyzer> <reason>
 //
 // placed either at the end of the offending line or on the line
-// immediately above it. The analyzer name must match exactly and a
+// immediately above it. When the annotated line begins a multi-line
+// statement (or struct field / spec), the directive covers the node's
+// entire span, so findings reported on a continuation line are still
+// suppressed. The analyzer name must match exactly and a
 // non-empty reason is mandatory — a directive without a reason (or
 // naming a different analyzer) suppresses nothing. Multiple analyzers
 // may be named, comma-separated: anonlint/determinism,anonlint/fpwidth.
+//
+// A second directive, "//lint:bound reason", is the waitfree analyzer's
+// loop-bound justification; see BoundJustified.
 package lintutil
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"regexp"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -69,6 +78,63 @@ func NamedFrom(t types.Type, pkgBase, name string) bool {
 	return n.Obj().Name() == name && FromPackage(n.Obj(), pkgBase)
 }
 
+// MachineShaped reports whether t's method set (or that of *t) contains
+// the machine step protocol: Pending, Advance and Done — the
+// machine.Machine shape. Matching by shape rather than by
+// types.Implements keeps the analyzers independent of the concrete
+// machine package, so they work identically on the real tree and on
+// self-contained testdata. Pointers are stripped first; interfaces are
+// excluded (the Machine interface itself is not an implementation).
+func MachineShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	has := map[string]bool{}
+	for _, ms := range []*types.MethodSet{
+		types.NewMethodSet(t),
+		types.NewMethodSet(types.NewPointer(t)),
+	} {
+		for i := 0; i < ms.Len(); i++ {
+			has[ms.At(i).Obj().Name()] = true
+		}
+	}
+	return has["Pending"] && has["Advance"] && has["Done"]
+}
+
+// MachineTypes returns the named types declared in pkg that implement
+// the machine step protocol.
+func MachineTypes(pkg *types.Package) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if MachineShaped(tn.Type()) {
+			out[tn] = true
+		}
+	}
+	return out
+}
+
+// IdentityName matches parameter/field names that conventionally carry a
+// processor identity (p, pid, proc, procID, rank, me, self, myID, id).
+// Detection is name-based by design: an int parameter named p is
+// overwhelmingly a processor index in this codebase, and a false
+// positive costs one rename or one justified //lint:ignore line, while a
+// missed identity leak costs a silent exit from the model.
+var IdentityName = regexp.MustCompile(`(?i)^(p|pid|proc|procid|procidx|rank|me|self|myid|id)$`)
+
 // IsTestFile reports whether pos lies in a _test.go file. The anonlint
 // analyzers skip test files: the model invariants constrain shipped
 // algorithm and engine code, while tests routinely build deliberate
@@ -81,6 +147,12 @@ func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 // DirectivePrefix is the comment prefix of a suppression directive.
 const DirectivePrefix = "//lint:ignore"
 
+// BoundPrefix is the comment prefix of a wait-freedom loop-bound
+// justification: "//lint:bound reason" on (or directly above) a loop
+// asserts that its trip count is bounded for reasons the waitfree
+// analyzer cannot see statically. The reason is mandatory.
+const BoundPrefix = "//lint:bound"
+
 // Reporter wraps pass.Report with the //lint:ignore convention for one
 // analyzer. Construct it once per run with NewReporter.
 type Reporter struct {
@@ -88,7 +160,10 @@ type Reporter struct {
 	name string // bare analyzer name, e.g. "determinism"
 	// suppressed maps file:line to the set of analyzer names silenced
 	// there. A directive at line L applies to L (trailing comment) and
-	// L+1 (comment on its own line above the finding).
+	// L+1 (comment on its own line above the finding) — and when the
+	// annotated line begins a multi-line statement, field or spec, to
+	// every line of that node's span, so a directive above a statement
+	// suppresses findings reported anywhere inside it.
 	suppressed map[lineKey][]string
 }
 
@@ -102,6 +177,7 @@ type lineKey struct {
 func NewReporter(pass *analysis.Pass, name string) *Reporter {
 	r := &Reporter{pass: pass, name: name, suppressed: make(map[lineKey][]string)}
 	for _, f := range pass.Files {
+		spans := nodeSpans(pass.Fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				names, ok := parseDirective(c.Text)
@@ -110,13 +186,50 @@ func NewReporter(pass *analysis.Pass, name string) *Reporter {
 				}
 				p := pass.Fset.Position(c.Pos())
 				for _, l := range []int{p.Line, p.Line + 1} {
-					k := lineKey{file: p.Filename, line: l}
-					r.suppressed[k] = append(r.suppressed[k], names...)
+					last := l
+					if end, ok := spans[l]; ok && end > last {
+						last = end
+					}
+					for ln := l; ln <= last; ln++ {
+						k := lineKey{file: p.Filename, line: ln}
+						r.suppressed[k] = append(r.suppressed[k], names...)
+					}
 				}
 			}
 		}
 	}
 	return r
+}
+
+// nodeSpans maps each line on which a statement, field or spec begins to
+// the last line of the widest such node starting there. A suppression
+// directive annotating that line then covers the node's whole span, so
+// multi-line expressions do not silently escape their directive.
+func nodeSpans(fset *token.FileSet, f *ast.File) map[int]int {
+	spans := make(map[int]int)
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > spans[start] {
+			spans[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			return true // a block is its enclosing statement's body, not an annotatable unit
+		case ast.Stmt:
+			record(n)
+		case *ast.Field:
+			record(n)
+		case ast.Spec:
+			record(n)
+		case nil:
+			return false
+		}
+		return true
+	})
+	return spans
 }
 
 // parseDirective extracts the analyzer names from a
@@ -159,6 +272,73 @@ func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 		return
 	}
 	r.pass.Reportf(pos, format, args...)
+}
+
+// Report reports a full diagnostic — used by analyzers that attach
+// SuggestedFixes — under the same suppression rules as Reportf.
+func (r *Reporter) Report(d analysis.Diagnostic) {
+	if r.Suppressed(d.Pos) {
+		return
+	}
+	r.pass.Report(d)
+}
+
+// BoundJustified reports whether a loop at pos carries a justified
+// "//lint:bound reason" directive on its first line or the line directly
+// above. Directives without a reason justify nothing, mirroring the
+// //lint:ignore convention.
+func BoundJustified(pass *analysis.Pass, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename != p.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, BoundPrefix)
+				if !ok || strings.TrimSpace(rest) == "" {
+					continue
+				}
+				cl := pass.Fset.Position(c.Pos()).Line
+				if cl == p.Line || cl+1 == p.Line {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// PathStep is one hop of a rendered dataflow path: a position plus what
+// the value is doing there.
+type PathStep struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// RenderPath renders a source→sink dataflow chain for a diagnostic:
+// "desc (file.go:12) → desc (file.go:20) → desc (file.go:33)".
+// Positions render as base-name:line so the message stays one readable
+// line; consecutive steps at the same position collapse.
+func RenderPath(fset *token.FileSet, steps []PathStep) string {
+	var b strings.Builder
+	var lastAt string
+	for i, s := range steps {
+		at := ""
+		if s.Pos.IsValid() {
+			p := fset.Position(s.Pos)
+			at = fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		}
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(s.Desc)
+		if at != "" && at != lastAt {
+			fmt.Fprintf(&b, " (%s)", at)
+			lastAt = at
+		}
+	}
+	return b.String()
 }
 
 // WalkFiles runs fn over every non-test file of the pass.

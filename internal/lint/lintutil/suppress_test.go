@@ -43,7 +43,7 @@ func findingLines(fs []linttest.Finding) map[int]bool {
 // else. The fixture has a line where both determinism and fpwidth fire.
 func TestSuppressionPrecision(t *testing.T) {
 	marks := markerLines(t, fixture)
-	for _, m := range []string{"mixed", "wrongname", "noreason", "both"} {
+	for _, m := range []string{"mixed", "wrongname", "noreason", "both", "spanned", "spannedtrailing"} {
 		if marks[m] == 0 {
 			t.Fatalf("fixture lost marker %q", m)
 		}
@@ -66,6 +66,12 @@ func TestSuppressionPrecision(t *testing.T) {
 	if det[marks["both"]] || fpw[marks["both"]] {
 		t.Errorf("line %d: comma-separated directive left a named analyzer firing (det=%v fpw=%v)",
 			marks["both"], det[marks["both"]], fpw[marks["both"]])
+	}
+	if det[marks["spanned"]] {
+		t.Errorf("line %d: directive above a multi-line statement failed to suppress a finding inside it", marks["spanned"])
+	}
+	if det[marks["spannedtrailing"]] {
+		t.Errorf("line %d: trailing directive on a multi-line statement failed to suppress a finding inside it", marks["spannedtrailing"])
 	}
 
 	// No findings anywhere but the marked lines.

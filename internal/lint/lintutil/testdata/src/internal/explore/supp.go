@@ -31,3 +31,24 @@ func Both(p int) uint64 {
 	//lint:ignore anonlint/determinism,anonlint/fpwidth fixture: both halves justified
 	return uint64(time.Now().Nanosecond()) | 1<<uint(p) // mark:both
 }
+
+// Spanned regression-tests statement-span suppression: the directive
+// sits above a multi-line statement and the finding is reported two
+// lines further down, on the time.Now call itself. Purely line-based
+// matching (directive line and line+1 only) silently fails here.
+func Spanned() int64 {
+	//lint:ignore anonlint/determinism fixture: spans the whole statement
+	return max(
+		0,
+		time.Now().UnixNano(), // mark:spanned
+	)
+}
+
+// SpannedTrailing is the same shape with a trailing directive on the
+// statement's first line; the finding is again on a later line.
+func SpannedTrailing() int64 {
+	return max( //lint:ignore anonlint/determinism fixture: trailing on a multi-line statement
+		0,
+		time.Now().UnixNano(), // mark:spannedtrailing
+	)
+}

@@ -1,0 +1,346 @@
+// Package sarif renders anonlint findings as a SARIF 2.1.0 log — the
+// interchange format CI code-scanning UIs ingest — and structurally
+// validates logs against the parts of the 2.1.0 specification the suite
+// relies on. Validation is offline by construction: the repository
+// builds without network access, so instead of fetching the official
+// JSON schema the Validate function checks the invariants a consumer
+// needs (schema URI, version, run/tool/driver shape, every result's
+// ruleId resolving to a declared rule, locations carrying a URI,
+// replacement regions carrying byte offsets).
+package sarif
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"anonshm/internal/lint/vetjson"
+)
+
+// SchemaURI is the canonical SARIF 2.1.0 schema location, recorded in
+// the log for consumers; nothing is fetched from it.
+const SchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// Version is the SARIF spec version the package emits.
+const Version = "2.1.0"
+
+// Log is the top-level SARIF object.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is a single tool invocation.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes the analysis tool and declares its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer, declared once and referenced by results.
+type Rule struct {
+	ID               string   `json:"id"`
+	ShortDescription Message  `json:"shortDescription"`
+	FullDescription  *Message `json:"fullDescription,omitempty"`
+}
+
+// Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	RuleIndex int        `json:"ruleIndex"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+	Fixes     []Fix      `json:"fixes,omitempty"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file plus an optional region.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           *Region          `json:"region,omitempty"`
+}
+
+// ArtifactLocation names a file, relative to the repository root.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is either a line/column region (results) or a byte region
+// (fix replacements).
+type Region struct {
+	StartLine   int `json:"startLine,omitempty"`
+	StartColumn int `json:"startColumn,omitempty"`
+	CharOffset  int `json:"charOffset,omitempty"`
+	CharLength  int `json:"charLength,omitempty"`
+}
+
+// Fix is one suggested rewrite.
+type Fix struct {
+	Description     Message          `json:"description"`
+	ArtifactChanges []ArtifactChange `json:"artifactChanges"`
+}
+
+// ArtifactChange groups the replacements of one file.
+type ArtifactChange struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Replacements     []Replacement    `json:"replacements"`
+}
+
+// Replacement deletes a byte region and inserts text.
+type Replacement struct {
+	DeletedRegion   Region          `json:"deletedRegion"`
+	InsertedContent ArtifactContent `json:"insertedContent"`
+}
+
+// ArtifactContent is literal replacement text.
+type ArtifactContent struct {
+	Text string `json:"text"`
+}
+
+// RuleMeta declares one analyzer for the run's rule table.
+type RuleMeta struct {
+	Name string // analyzer name, e.g. "taint"
+	Doc  string // analyzer doc; first line becomes the short description
+}
+
+// FromFindings builds a single-run SARIF log from vet JSON findings.
+// File URIs are made relative to dir. Findings whose analyzer is not in
+// rules get a rule entry synthesized, so the log always validates.
+func FromFindings(findings []vetjson.Finding, rules []RuleMeta, dir string) *Log {
+	index := map[string]int{}
+	var declared []Rule
+	addRule := func(name, doc string) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		short, rest, _ := strings.Cut(doc, "\n")
+		if short == "" {
+			short = name
+		}
+		r := Rule{ID: "anonlint/" + name, ShortDescription: Message{Text: short}}
+		if rest = strings.TrimSpace(rest); rest != "" {
+			r.FullDescription = &Message{Text: rest}
+		}
+		index[name] = len(declared)
+		declared = append(declared, r)
+		return index[name]
+	}
+	for _, r := range rules {
+		addRule(r.Name, r.Doc)
+	}
+
+	results := []Result{}
+	for _, f := range findings {
+		ri := addRule(f.Analyzer, "")
+		res := Result{
+			RuleID:    declared[ri].ID,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   Message{Text: f.Message},
+			Locations: []Location{{PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: f.File(dir)},
+				Region:           lineRegion(f),
+			}}},
+		}
+		for _, fix := range f.SuggestedFixes {
+			res.Fixes = append(res.Fixes, toFix(fix, dir))
+		}
+		results = append(results, res)
+	}
+
+	return &Log{
+		Schema:  SchemaURI,
+		Version: Version,
+		Runs: []Run{{
+			Tool:    Tool{Driver: Driver{Name: "anonlint", Rules: declared}},
+			Results: results,
+		}},
+	}
+}
+
+func lineRegion(f vetjson.Finding) *Region {
+	if f.Line() == 0 {
+		return nil
+	}
+	return &Region{StartLine: f.Line(), StartColumn: f.Col()}
+}
+
+func toFix(fix vetjson.SuggestedFix, dir string) Fix {
+	byFile := map[string][]Replacement{}
+	var order []string
+	for _, e := range fix.Edits {
+		uri := (vetjson.Finding{Diagnostic: vetjson.Diagnostic{Posn: e.Filename}}).File(dir)
+		if _, ok := byFile[uri]; !ok {
+			order = append(order, uri)
+		}
+		byFile[uri] = append(byFile[uri], Replacement{
+			DeletedRegion:   Region{CharOffset: e.Start, CharLength: e.End - e.Start},
+			InsertedContent: ArtifactContent{Text: e.New},
+		})
+	}
+	out := Fix{Description: Message{Text: fix.Message}}
+	for _, uri := range order {
+		out.ArtifactChanges = append(out.ArtifactChanges, ArtifactChange{
+			ArtifactLocation: ArtifactLocation{URI: uri},
+			Replacements:     byFile[uri],
+		})
+	}
+	return out
+}
+
+// Validate structurally checks data against the SARIF 2.1.0 shape this
+// package emits and CI consumes. It re-parses generically (not through
+// the emit structs) so a field dropped by a refactor is caught.
+func Validate(data []byte) error {
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("sarif: not JSON: %w", err)
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0") {
+		return fmt.Errorf("sarif: $schema %q is not the 2.1.0 schema", log["$schema"])
+	}
+	if v, _ := log["version"].(string); v != Version {
+		return fmt.Errorf("sarif: version %q, want %q", log["version"], Version)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) == 0 {
+		return fmt.Errorf("sarif: runs must be a non-empty array")
+	}
+	for ri, r := range runs {
+		run, ok := r.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] is not an object", ri)
+		}
+		driver, ok := dig(run, "tool", "driver")
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] lacks tool.driver", ri)
+		}
+		if name, _ := driver["name"].(string); name == "" {
+			return fmt.Errorf("sarif: runs[%d] driver has no name", ri)
+		}
+		ruleIDs := map[string]int{}
+		if rules, ok := driver["rules"].([]any); ok {
+			for i, rr := range rules {
+				rule, ok := rr.(map[string]any)
+				if !ok {
+					return fmt.Errorf("sarif: runs[%d] rules[%d] is not an object", ri, i)
+				}
+				id, _ := rule["id"].(string)
+				if id == "" {
+					return fmt.Errorf("sarif: runs[%d] rules[%d] has no id", ri, i)
+				}
+				if sd, ok := dig(rule, "shortDescription"); !ok || sd["text"] == "" {
+					return fmt.Errorf("sarif: rule %s lacks shortDescription.text", id)
+				}
+				ruleIDs[id] = i
+			}
+		}
+		results, ok := run["results"].([]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] results must be an array (empty is fine)", ri)
+		}
+		for i, rr := range results {
+			res, ok := rr.(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: results[%d] is not an object", i)
+			}
+			id, _ := res["ruleId"].(string)
+			declaredAt, declared := ruleIDs[id]
+			if !declared {
+				return fmt.Errorf("sarif: results[%d] ruleId %q not declared in driver rules", i, id)
+			}
+			if idx, ok := res["ruleIndex"].(float64); ok && int(idx) != declaredAt {
+				return fmt.Errorf("sarif: results[%d] ruleIndex %d does not match rule %q at %d", i, int(idx), id, declaredAt)
+			}
+			if msg, ok := dig(res, "message"); !ok || msg["text"] == "" {
+				return fmt.Errorf("sarif: results[%d] lacks message.text", i)
+			}
+			locs, ok := res["locations"].([]any)
+			if !ok || len(locs) == 0 {
+				return fmt.Errorf("sarif: results[%d] lacks locations", i)
+			}
+			for j, l := range locs {
+				loc, _ := l.(map[string]any)
+				al, ok := dig(loc, "physicalLocation", "artifactLocation")
+				if !ok {
+					return fmt.Errorf("sarif: results[%d] locations[%d] lacks physicalLocation.artifactLocation", i, j)
+				}
+				if uri, _ := al["uri"].(string); uri == "" {
+					return fmt.Errorf("sarif: results[%d] locations[%d] lacks a uri", i, j)
+				}
+			}
+			if fixes, ok := res["fixes"].([]any); ok {
+				if err := validateFixes(i, fixes); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateFixes(result int, fixes []any) error {
+	for fi, f := range fixes {
+		fix, _ := f.(map[string]any)
+		changes, ok := fix["artifactChanges"].([]any)
+		if !ok || len(changes) == 0 {
+			return fmt.Errorf("sarif: results[%d] fixes[%d] lacks artifactChanges", result, fi)
+		}
+		for ci, c := range changes {
+			change, _ := c.(map[string]any)
+			if al, ok := dig(change, "artifactLocation"); !ok || al["uri"] == "" {
+				return fmt.Errorf("sarif: results[%d] fixes[%d] changes[%d] lacks artifactLocation.uri", result, fi, ci)
+			}
+			reps, ok := change["replacements"].([]any)
+			if !ok || len(reps) == 0 {
+				return fmt.Errorf("sarif: results[%d] fixes[%d] changes[%d] lacks replacements", result, fi, ci)
+			}
+			for pi, p := range reps {
+				rep, _ := p.(map[string]any)
+				if _, ok := dig(rep, "deletedRegion"); !ok {
+					return fmt.Errorf("sarif: results[%d] fixes[%d] replacements[%d] lacks deletedRegion", result, fi, pi)
+				}
+				if _, ok := dig(rep, "insertedContent"); !ok {
+					return fmt.Errorf("sarif: results[%d] fixes[%d] replacements[%d] lacks insertedContent", result, fi, pi)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// dig walks nested objects by key, reporting whether the full path
+// resolved to an object.
+func dig(m map[string]any, path ...string) (map[string]any, bool) {
+	cur := m
+	for _, k := range path {
+		next, ok := cur[k].(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur = next
+	}
+	return cur, true
+}

@@ -1,0 +1,145 @@
+package sarif
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"anonshm/internal/lint"
+	"anonshm/internal/lint/vetjson"
+)
+
+func sample() []vetjson.Finding {
+	return []vetjson.Finding{
+		{
+			Package: "anonshm/cmd/anonexplore", Analyzer: "exitcode",
+			Diagnostic: vetjson.Diagnostic{
+				Posn:    "/repo/cmd/anonexplore/main.go:142:11",
+				Message: "os.Exit with bare literal 2; use exitcode.Usage",
+				SuggestedFixes: []vetjson.SuggestedFix{{
+					Message: "replace 2 with exitcode.Usage",
+					Edits: []vetjson.TextEdit{{
+						Filename: "/repo/cmd/anonexplore/main.go",
+						Start:    3100, End: 3101, New: "exitcode.Usage",
+					}},
+				}},
+			},
+		},
+		{
+			Package: "anonshm/internal/explore", Analyzer: "determinism",
+			Diagnostic: vetjson.Diagnostic{
+				Posn:    "/repo/internal/explore/walk.go:33:2",
+				Message: "iteration over map has nondeterministic order",
+			},
+		},
+	}
+}
+
+func suiteRules() []RuleMeta {
+	var rules []RuleMeta
+	for _, a := range lint.Suite() {
+		rules = append(rules, RuleMeta{Name: a.Name, Doc: a.Doc})
+	}
+	return rules
+}
+
+// TestEmitValidates is the acceptance check: what anonlint -sarif emits
+// for real suite findings passes the 2.1.0 structural validation.
+func TestEmitValidates(t *testing.T) {
+	log := FromFindings(sample(), suiteRules(), "/repo")
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("emitted SARIF does not validate: %v\n%s", err, data)
+	}
+
+	// Spot-check content a consumer depends on.
+	s := string(data)
+	for _, want := range []string{
+		`"$schema": "` + SchemaURI + `"`,
+		`"version": "2.1.0"`,
+		`"ruleId": "anonlint/exitcode"`,
+		`"uri": "cmd/anonexplore/main.go"`,
+		`"startLine": 142`,
+		`"charOffset": 3100`,
+		`"text": "exitcode.Usage"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SARIF output lacks %s", want)
+		}
+	}
+}
+
+// TestEmptyRunValidates pins the clean-tree case: zero findings still
+// produce a valid log with an empty results array (not null).
+func TestEmptyRunValidates(t *testing.T) {
+	log := FromFindings(nil, suiteRules(), "/repo")
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("empty SARIF does not validate: %v\n%s", err, data)
+	}
+	if !strings.Contains(string(data), `"results":[]`) {
+		t.Errorf("results must serialize as [], got %s", data)
+	}
+}
+
+// TestSuiteRulesDeclared checks every suite analyzer appears in the rule
+// table, so results from any of the seven resolve.
+func TestSuiteRulesDeclared(t *testing.T) {
+	log := FromFindings(nil, suiteRules(), "")
+	if len(log.Runs[0].Tool.Driver.Rules) != len(lint.Suite()) {
+		t.Fatalf("rule table has %d entries, suite has %d analyzers",
+			len(log.Runs[0].Tool.Driver.Rules), len(lint.Suite()))
+	}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		if !strings.HasPrefix(r.ID, "anonlint/") || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v lacks id prefix or short description", r)
+		}
+	}
+}
+
+// TestValidateRejects drives the validator over broken logs: each
+// corruption must be caught, or the test that "SARIF validates" means
+// nothing.
+func TestValidateRejects(t *testing.T) {
+	base := func() *Log { return FromFindings(sample(), suiteRules(), "/repo") }
+	cases := []struct {
+		name    string
+		corrupt func(*Log)
+		want    string
+	}{
+		{"wrong version", func(l *Log) { l.Version = "2.0.0" }, "version"},
+		{"wrong schema", func(l *Log) { l.Schema = "https://example.com/other.json" }, "$schema"},
+		{"no runs", func(l *Log) { l.Runs = nil }, "runs"},
+		{"nameless driver", func(l *Log) { l.Runs[0].Tool.Driver.Name = "" }, "name"},
+		{"undeclared rule", func(l *Log) { l.Runs[0].Results[0].RuleID = "anonlint/ghost" }, "not declared"},
+		{"bad rule index", func(l *Log) { l.Runs[0].Results[0].RuleIndex += 1 }, "ruleIndex"},
+		{"empty message", func(l *Log) { l.Runs[0].Results[0].Message.Text = "" }, "message"},
+		{"no locations", func(l *Log) { l.Runs[0].Results[0].Locations = nil }, "locations"},
+		{"blank uri", func(l *Log) {
+			l.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI = ""
+		}, "uri"},
+		{"fix without replacements", func(l *Log) {
+			l.Runs[0].Results[0].Fixes[0].ArtifactChanges[0].Replacements = nil
+		}, "replacements"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := base()
+			tc.corrupt(l)
+			data, err := json.Marshal(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = Validate(data)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate accepted %s (err=%v)", tc.name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package taint_test
+
+import (
+	"strings"
+	"testing"
+
+	"anonshm/internal/lint/anonymity"
+	"anonshm/internal/lint/linttest"
+	"anonshm/internal/lint/taint"
+)
+
+// TestGolden seeds every identity flow the analyzer models — helper
+// returns, two-level parameter chains, closures, per-processor tables,
+// crash-mask fingerprint folds, composite literals — and checks the
+// clean package (observer structs, non-identity data, a justified
+// suppression) stays silent.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "testdata", taint.Analyzer, "taintbad", "taintgood")
+}
+
+// TestAnonymityProvablyMisses pins the analyzer's reason to exist: the
+// helperleak fixture routes ghost identity through a helper into a
+// machine field. The AST-shape anonymity analyzer reports nothing on
+// it; the taint analyzer reports the full source→sink path.
+func TestAnonymityProvablyMisses(t *testing.T) {
+	if fs := linttest.Findings(t, "testdata", anonymity.Analyzer, "helperleak"); len(fs) != 0 {
+		t.Fatalf("anonymity analyzer unexpectedly found %d finding(s) on helperleak: %v — the fixture no longer proves the gap", len(fs), fs)
+	}
+	fs := linttest.Findings(t, "testdata", taint.Analyzer, "helperleak")
+	if len(fs) != 1 {
+		t.Fatalf("taint analyzer: want exactly 1 finding on helperleak, got %d: %v", len(fs), fs)
+	}
+	msg := fs[0].Message
+	for _, hop := range []string{"ghost identity StepInfo.Proc", "passed to install", "stored in machine field M.slot"} {
+		if !strings.Contains(msg, hop) {
+			t.Errorf("diagnostic lost path hop %q: %s", hop, msg)
+		}
+	}
+}

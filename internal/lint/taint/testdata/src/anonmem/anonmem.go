@@ -1,0 +1,37 @@
+// Package anonmem is a stub of the register file for the taint
+// fixtures: the ghost last-writer fields and the omniscient
+// wiring-inspection methods.
+package anonmem
+
+// Word is the register value type.
+type Word uint64
+
+// Memory is the shared register file.
+type Memory struct {
+	cells  []Word
+	wiring [][]int
+}
+
+// ReadResult carries the read value plus ghost last-writer identity.
+type ReadResult struct {
+	Value      Word
+	LastWriter int
+}
+
+// WriteResult carries ghost previous-writer identity.
+type WriteResult struct {
+	Overwrote  Word
+	PrevWriter int
+}
+
+// LastWriterAt reveals which processor last wrote global register g.
+func (m *Memory) LastWriterAt(g int) int { return g }
+
+// LastWrittenBy reveals the last writer through a local index.
+func (m *Memory) LastWrittenBy(p, r int) int { return p }
+
+// Wiring reveals processor p's private permutation σ_p.
+func (m *Memory) Wiring(p int) []int { return m.wiring[p] }
+
+// Global reveals the global index behind a local register.
+func (m *Memory) Global(p, r int) int { return m.wiring[p][r] }

@@ -1,0 +1,8 @@
+// Package canon is a stub of the symmetry-reduction layer for the taint
+// fixtures: the Fingerprint sink.
+package canon
+
+// Hasher fingerprints states; aux must be orbit-invariant.
+type Hasher interface {
+	Fingerprint(aux uint64) uint64
+}

@@ -1,0 +1,35 @@
+// Package helperleak is the proof fixture that the SSA-less
+// interprocedural taint analysis sees what the AST-shape anonymity
+// analyzer provably cannot: identity entering a machine field through a
+// helper call. The machine's field has an innocent name, the helper is
+// not a constructor, and no ghost field is read inside a machine
+// method — every trigger of the anonymity analyzer is absent, yet
+// identity lands in fingerprinted machine state.
+package helperleak
+
+import "machine"
+
+// M is machine-shaped; "slot" defeats name-based field matching.
+type M struct {
+	slot int
+	done bool
+}
+
+func (m *M) Pending() []int            { return nil }
+func (m *M) Advance(choice int, w int) {}
+func (m *M) Done() bool                { return m.done }
+
+// install is a plain helper: not a constructor (returns nothing), its
+// parameter innocently named, so neither the anonymity analyzer nor any
+// name heuristic inspects it.
+func install(m *M, v int) {
+	m.slot = v
+}
+
+// Build reads ghost identity outside any machine method (where the
+// anonymity analyzer never looks) and routes it through install.
+func Build(info machine.StepInfo) *M {
+	m := &M{}
+	install(m, info.Proc)
+	return m
+}

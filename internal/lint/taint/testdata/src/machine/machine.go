@@ -1,0 +1,29 @@
+// Package machine is a stub of the system layer for the taint fixtures:
+// the ghost StepInfo record and the System with its proc-keyed crash
+// mask.
+package machine
+
+// StepInfo is ghost state about one executed step, for observers only.
+type StepInfo struct {
+	Proc       int
+	ReadFrom   int
+	PrevWriter int
+	Global     int
+}
+
+// System executes machines against the shared memory.
+type System struct {
+	crashed []bool
+}
+
+// CrashMask returns the crashed processors as a proc-indexed bitmask —
+// identity-keyed by construction.
+func (s *System) CrashMask() uint64 {
+	var mask uint64
+	for p, c := range s.crashed {
+		if c {
+			mask |= 1 << uint(p)
+		}
+	}
+	return mask
+}

@@ -1,0 +1,14 @@
+// Package sched is a stub of the scheduler instrumentation for the
+// taint fixtures: per-processor observation data.
+package sched
+
+// Instrument records per-processor execution data.
+type Instrument struct {
+	steps []int64
+}
+
+// ProcSteps returns steps taken, indexed by processor.
+func (in *Instrument) ProcSteps() []int64 { return in.steps }
+
+// RegisterAccess returns per-register access counts keyed by processor.
+func (in *Instrument) RegisterAccess() []int64 { return in.steps }

@@ -1,0 +1,14 @@
+// Package anonmem stubs the real internal/anonmem for the
+// cross-analyzer fixture (suffix-matched import path).
+package anonmem
+
+// Word is one register cell.
+type Word uint64
+
+// Memory is the anonymous register file.
+type Memory struct {
+	cells []Word
+}
+
+// Cells is omniscient inspection: global register contents.
+func (m *Memory) Cells() []Word { return m.cells }

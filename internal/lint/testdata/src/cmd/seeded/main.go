@@ -1,0 +1,11 @@
+// Command seeded carries the one exitcode violation of the
+// cross-analyzer fixture: a bare literal exit in a cmd/ package.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) > 2 {
+		os.Exit(2) // exitcode: bare literal
+	}
+}

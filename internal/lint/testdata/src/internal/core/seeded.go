@@ -1,0 +1,69 @@
+// Package core seeds exactly one violation per in-scope analyzer —
+// anonymity, regaccess, determinism, fpwidth, taint and waitfree — in a
+// single shared package (import path chosen to sit inside determinism's
+// scope and outside regaccess's allowlist). The cross-analyzer test
+// asserts each analyzer fires exactly once here: a violation crafted for
+// one analyzer must not leak a second finding out of another.
+package core
+
+import (
+	"anonmem"
+	"machine"
+)
+
+// M is machine-shaped. The pid field is the anonymity violation (and
+// only that: no store to it happens, so taint stays quiet).
+type M struct {
+	pid  int // anonymity: identity field on a machine
+	slot int
+	x, y int
+	done bool
+}
+
+func (m *M) Pending() []int            { return nil }
+func (m *M) Advance(choice int, v int) {}
+
+// Done spins on mutable state: the waitfree violation.
+func (m *M) Done() bool {
+	for m.x != m.y { // waitfree: unbounded trip count on a step path
+		m.x++
+	}
+	return m.done
+}
+
+// install + Build are the taint violation: ghost identity through a
+// neutral-named helper parameter into a machine field, outside any
+// machine method — invisible to anonymity, one interprocedural taint
+// finding at the Build call site.
+func install(m *M, v int) {
+	m.slot = v
+}
+
+// Build routes StepInfo.Proc into M.slot via install.
+func Build(info machine.StepInfo) *M {
+	m := &M{}
+	install(m, info.Proc)
+	return m
+}
+
+// Inspect is the regaccess violation: omniscient register inspection
+// outside the allowlist. Cells is not a taint identity source, so only
+// regaccess reports.
+func Inspect(mem *anonmem.Memory) int {
+	return len(mem.Cells())
+}
+
+// Collect is the determinism violation: map iteration with no sort.
+func Collect(outs map[int]string) string {
+	acc := ""
+	for _, v := range outs { // determinism: nondeterministic order
+		acc += v
+	}
+	return acc
+}
+
+// Bit is the fpwidth violation: a dynamic single-bit shift in a package
+// with no width guard (no comparison against 63 or 64 anywhere here).
+func Bit(e uint) uint64 {
+	return 1 << e
+}

@@ -1,0 +1,9 @@
+// Package machine stubs the real internal/machine for the cross-analyzer
+// fixture (suffix-matched import path).
+package machine
+
+// StepInfo describes one executed step; Proc is ghost identity.
+type StepInfo struct {
+	Proc   int
+	Choice int
+}

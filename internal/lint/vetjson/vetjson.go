@@ -1,0 +1,346 @@
+// Package vetjson consumes the machine-readable output of
+// "go vet -json -vettool=anonlint": the stream of "# package" comment
+// lines and per-package JSON objects that the vet driver prints on
+// stderr. It flattens the stream into Findings, applies the suggested
+// fixes the analyzers attach (anonlint -fix), and diffs findings
+// against a committed baseline (anonlint -baseline), which is how a
+// legacy finding is tolerated without being blanket-suppressed in
+// source.
+//
+// The JSON shape mirrors x/tools' analysisflags: each object maps
+// package path → analyzer name → either a list of diagnostics or an
+// {"error": ...} object.
+package vetjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// TextEdit is one byte-range replacement; Start and End are zero-based
+// half-open offsets into the original file bytes.
+type TextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// SuggestedFix is one self-contained rewrite for a finding.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Diagnostic mirrors analysisflags.JSONDiagnostic.
+type Diagnostic struct {
+	Category       string         `json:"category,omitempty"`
+	Posn           string         `json:"posn"` // "file.go:line:col"
+	Message        string         `json:"message"`
+	SuggestedFixes []SuggestedFix `json:"suggested_fixes,omitempty"`
+}
+
+// Finding is one diagnostic with its package and analyzer attached.
+type Finding struct {
+	Package  string
+	Analyzer string
+	Diagnostic
+}
+
+// File returns the file part of the finding's position, relative to dir
+// when possible (dir "" means leave absolute).
+func (f Finding) File(dir string) string {
+	file := f.Posn
+	// Trim ":line:col" / ":line" — split from the right so Windows-style
+	// drive letters or embedded colons in the path survive.
+	for range 2 {
+		i := strings.LastIndexByte(file, ':')
+		if i < 0 {
+			break
+		}
+		if allDigits(file[i+1:]) {
+			file = file[:i]
+		} else {
+			break
+		}
+	}
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// Line returns the line number from the finding's "file:line:col" (or
+// "file:line") position, or 0 when there is none.
+func (f Finding) Line() int { l, _ := f.lineCol(); return l }
+
+// Col returns the column number, or 0 when the position has none.
+func (f Finding) Col() int { _, c := f.lineCol(); return c }
+
+func (f Finding) lineCol() (line, col int) {
+	parts := strings.Split(f.Posn, ":")
+	n := len(parts)
+	if n >= 3 && allDigits(parts[n-1]) && allDigits(parts[n-2]) {
+		return atoi(parts[n-2]), atoi(parts[n-1])
+	}
+	if n >= 2 && allDigits(parts[n-1]) {
+		return atoi(parts[n-1]), 0
+	}
+	return 0, 0
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, r := range s {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// Parse reads a go vet -json stream: "#"-prefixed comment lines
+// interleaved with JSON objects. Analyzer-level {"error": ...} entries
+// become returned errors; any trailing non-JSON text (e.g. compiler
+// output from a broken package) is surfaced as an error too.
+func Parse(r io.Reader) ([]Finding, error) {
+	var b strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	var errs []error
+	dec := json.NewDecoder(strings.NewReader(b.String()))
+	for {
+		var obj map[string]map[string]json.RawMessage
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			rest := strings.TrimSpace(b.String()[offsetOf(dec):])
+			if rest != "" {
+				errs = append(errs, fmt.Errorf("non-JSON vet output: %s", firstLines(rest, 5)))
+			} else {
+				errs = append(errs, err)
+			}
+			break
+		}
+		for pkg, byAnalyzer := range obj {
+			for analyzer, raw := range byAnalyzer {
+				var diags []Diagnostic
+				if err := json.Unmarshal(raw, &diags); err == nil {
+					for _, d := range diags {
+						findings = append(findings, Finding{Package: pkg, Analyzer: analyzer, Diagnostic: d})
+					}
+					continue
+				}
+				var e struct {
+					Err string `json:"error"`
+				}
+				if err := json.Unmarshal(raw, &e); err == nil && e.Err != "" {
+					errs = append(errs, fmt.Errorf("%s: analyzer %s: %s", pkg, analyzer, e.Err))
+					continue
+				}
+				errs = append(errs, fmt.Errorf("%s: analyzer %s: unrecognized payload", pkg, analyzer))
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Posn != findings[j].Posn {
+			return findings[i].Posn < findings[j].Posn
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, errors.Join(errs...)
+}
+
+func offsetOf(dec *json.Decoder) int {
+	if o := dec.InputOffset(); o > 0 {
+		return int(o)
+	}
+	return 0
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ApplyFixes applies every suggested fix in findings to the files on
+// disk, returning the set of files rewritten. Overlapping edits within
+// one file are an error — no partial application happens for that file.
+func ApplyFixes(findings []Finding) ([]string, error) {
+	byFile := map[string][]TextEdit{}
+	for _, f := range findings {
+		for _, fix := range f.SuggestedFixes {
+			for _, e := range fix.Edits {
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+		}
+	}
+	var changed []string
+	var errs []error
+	for file, edits := range byFile {
+		if err := applyFile(file, edits); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, errors.Join(errs...)
+}
+
+func applyFile(file string, edits []TextEdit) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+	// Distinct findings may carry byte-identical edits (e.g. two fixes
+	// in one file each inserting the same import); collapse them so
+	// they neither double-apply nor read as an overlap.
+	edits = slices.CompactFunc(edits, func(a, b TextEdit) bool {
+		return a.Start == b.Start && a.End == b.End && a.New == b.New
+	})
+	for i, e := range edits {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return fmt.Errorf("%s: edit [%d,%d) outside file of %d bytes", file, e.Start, e.End, len(src))
+		}
+		if i > 0 && edits[i-1].Start < e.End {
+			return fmt.Errorf("%s: overlapping suggested fixes at offsets %d and %d", file, e.Start, edits[i-1].Start)
+		}
+		src = append(src[:e.Start], append([]byte(e.New), src[e.End:]...)...)
+	}
+	info, err := os.Stat(file)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(file, src, info.Mode().Perm())
+}
+
+// Baseline is the committed set of tolerated findings: the escape hatch
+// for legacy debt that must not become a blanket source suppression.
+// Keys are line-number-free (analyzer, file, message) triples with an
+// occurrence count, so unrelated edits moving a finding up or down a
+// file do not invalidate the baseline, while any new finding — even an
+// identical message in a different file — still fails the gate.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry tolerates Count occurrences of one (analyzer, file,
+// message) triple.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func key(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so bootstrapping needs no special case.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline covering exactly the given findings,
+// with files made relative to dir.
+func NewBaseline(findings []Finding, dir string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, f := range findings {
+		k := key(f.Analyzer, f.File(dir), f.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{Analyzer: f.Analyzer, File: f.File(dir), Message: f.Message, Count: 1}
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	b := &Baseline{Findings: []BaselineEntry{}}
+	for _, k := range order {
+		b.Findings = append(b.Findings, *counts[k])
+	}
+	return b
+}
+
+// Save writes the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Save(path string) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into (new, tolerated): each baseline entry
+// absorbs up to Count matching findings; everything else is new.
+func (b *Baseline) Filter(findings []Finding, dir string) (fresh, tolerated []Finding) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[key(e.Analyzer, e.File, e.Message)] += e.Count
+	}
+	for _, f := range findings {
+		k := key(f.Analyzer, f.File(dir), f.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			tolerated = append(tolerated, f)
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, tolerated
+}

@@ -1,0 +1,225 @@
+package vetjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stream mimics go vet -json output: package comment lines interleaved
+// with per-package JSON objects, one carrying a suggested fix.
+const stream = `# anonshm/cmd/anonexplore
+# [anonshm/cmd/anonexplore]
+{
+	"anonshm/cmd/anonexplore": {
+		"exitcode": [
+			{
+				"posn": "/repo/cmd/anonexplore/main.go:142:11",
+				"message": "os.Exit with bare literal 2; use exitcode.Usage",
+				"suggested_fixes": [
+					{
+						"message": "replace 2 with exitcode.Usage",
+						"edits": [
+							{
+								"filename": "/repo/cmd/anonexplore/main.go",
+								"start": 3100,
+								"end": 3101,
+								"new": "exitcode.Usage"
+							}
+						]
+					}
+				]
+			}
+		]
+	}
+}
+# anonshm/internal/explore
+{
+	"anonshm/internal/explore": {
+		"determinism": [
+			{
+				"posn": "/repo/internal/explore/walk.go:33:2",
+				"message": "iteration over map map[int]string has nondeterministic order"
+			}
+		],
+		"taint": []
+	}
+}
+`
+
+func TestParse(t *testing.T) {
+	fs, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings, got %d: %+v", len(fs), fs)
+	}
+	// Sorted by position: cmd/anonexplore before internal/explore.
+	f := fs[0]
+	if f.Analyzer != "exitcode" || f.Package != "anonshm/cmd/anonexplore" {
+		t.Errorf("finding 0 attribution wrong: %+v", f)
+	}
+	if got := f.File("/repo"); got != "cmd/anonexplore/main.go" {
+		t.Errorf("File: got %q", got)
+	}
+	if f.Line() != 142 || f.Col() != 11 {
+		t.Errorf("Line/Col: got %d:%d, want 142:11", f.Line(), f.Col())
+	}
+	if len(f.SuggestedFixes) != 1 || f.SuggestedFixes[0].Edits[0].New != "exitcode.Usage" {
+		t.Errorf("suggested fix not carried through: %+v", f.SuggestedFixes)
+	}
+	if fs[1].Analyzer != "determinism" || fs[1].Line() != 33 {
+		t.Errorf("finding 1 wrong: %+v", fs[1])
+	}
+}
+
+func TestParseAnalyzerError(t *testing.T) {
+	in := `{"p": {"taint": {"error": "internal error: oh no"}}}`
+	fs, err := Parse(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "oh no") {
+		t.Fatalf("want analyzer error surfaced, got findings=%v err=%v", fs, err)
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	in := "{}\ncan't load package: broken\n"
+	_, err := Parse(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("want non-JSON output surfaced, got %v", err)
+	}
+}
+
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "main.go")
+	src := "package main\n\nfunc main() { exit(2); exit(1) }\n"
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	two := strings.Index(src, "2")
+	one := strings.Index(src, "1")
+	fs := []Finding{
+		{Analyzer: "exitcode", Diagnostic: Diagnostic{
+			Posn: file + ":3:1",
+			SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{
+				{Filename: file, Start: two, End: two + 1, New: "exitcode.Usage"},
+			}}},
+		}},
+		{Analyzer: "exitcode", Diagnostic: Diagnostic{
+			Posn: file + ":3:2",
+			SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{
+				{Filename: file, Start: one, End: one + 1, New: "exitcode.Error"},
+			}}},
+		}},
+	}
+	changed, err := ApplyFixes(fs)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(changed) != 1 || changed[0] != file {
+		t.Fatalf("changed = %v", changed)
+	}
+	got, _ := os.ReadFile(file)
+	want := "package main\n\nfunc main() { exit(exitcode.Usage); exit(exitcode.Error) }\n"
+	if string(got) != want {
+		t.Errorf("after fixes:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(file, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := []Finding{{Diagnostic: Diagnostic{SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{
+		{Filename: file, Start: 2, End: 6, New: "a"},
+		{Filename: file, Start: 4, End: 8, New: "b"},
+	}}}}}}
+	if _, err := ApplyFixes(fs); err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("want overlap error, got %v", err)
+	}
+	got, _ := os.ReadFile(file)
+	if string(got) != "0123456789" {
+		t.Errorf("file modified despite overlap: %q", got)
+	}
+}
+
+func TestBaselineFilterAndRoundTrip(t *testing.T) {
+	mk := func(analyzer, posn, msg string) Finding {
+		return Finding{Analyzer: analyzer, Diagnostic: Diagnostic{Posn: posn, Message: msg}}
+	}
+	findings := []Finding{
+		mk("taint", "/repo/internal/canon/canon.go:10:2", "identity flows"),
+		mk("taint", "/repo/internal/canon/canon.go:99:2", "identity flows"), // same key, second occurrence
+		mk("waitfree", "/repo/internal/core/snapshot.go:40:2", "unbounded loop"),
+	}
+	b := &Baseline{Findings: []BaselineEntry{
+		{Analyzer: "taint", File: "internal/canon/canon.go", Message: "identity flows", Count: 1},
+	}}
+	fresh, tolerated := b.Filter(findings, "/repo")
+	if len(tolerated) != 1 || len(fresh) != 2 {
+		t.Fatalf("Filter: fresh=%d tolerated=%d", len(fresh), len(tolerated))
+	}
+	// Line moves must not invalidate the baseline: same file+message at a
+	// different line is still the tolerated finding.
+	if tolerated[0].Line() != 10 {
+		t.Errorf("tolerated the wrong occurrence: %+v", tolerated[0])
+	}
+
+	// Round-trip: a baseline written from findings absorbs them all.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint-baseline.json")
+	if err := NewBaseline(findings, "/repo").Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, tolerated = loaded.Filter(findings, "/repo")
+	if len(fresh) != 0 || len(tolerated) != 3 {
+		t.Errorf("round-trip: fresh=%d tolerated=%d, want 0/3", len(fresh), len(tolerated))
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || len(b.Findings) != 0 {
+		t.Fatalf("missing baseline must load empty: %v, %+v", err, b)
+	}
+}
+
+// TestApplyFixesCollapsesIdenticalEdits: two findings in one file may
+// each carry the same insertion (e.g. "add the exitcode import");
+// byte-identical edits must apply once, not twice or as an overlap.
+func TestApplyFixesCollapsesIdenticalEdits(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "main.go")
+	src := "package main\nimport \"os\"\nfunc main() { os.Exit(2); os.Exit(1) }\n"
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	imp := strings.Index(src, "func")
+	importEdit := TextEdit{Filename: file, Start: imp, End: imp, New: "import \"anonshm/internal/exitcode\"\n"}
+	two := strings.Index(src, "2")
+	one := strings.Index(src, "1")
+	fs := []Finding{
+		{Diagnostic: Diagnostic{SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{
+			{Filename: file, Start: two, End: two + 1, New: "exitcode.Usage"}, importEdit,
+		}}}}},
+		{Diagnostic: Diagnostic{SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{
+			{Filename: file, Start: one, End: one + 1, New: "exitcode.Error"}, importEdit,
+		}}}}},
+	}
+	if _, err := ApplyFixes(fs); err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	got, _ := os.ReadFile(file)
+	want := "package main\nimport \"os\"\nimport \"anonshm/internal/exitcode\"\nfunc main() { os.Exit(exitcode.Usage); os.Exit(exitcode.Error) }\n"
+	if string(got) != want {
+		t.Errorf("after fixes:\n%s\nwant:\n%s", got, want)
+	}
+}

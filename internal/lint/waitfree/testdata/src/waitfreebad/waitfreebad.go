@@ -1,0 +1,57 @@
+// Package waitfreebad seeds every unbounded-loop shape the waitfree
+// analyzer models: bare for, spin-on-state, spin hidden behind an
+// in-package helper, channel ranges and iterator ranges, all on the
+// machine step path.
+package waitfreebad
+
+// W is machine-shaped, so its Pending/Advance/Done methods root the
+// reachability walk.
+type W struct {
+	regs  []int
+	x, y  int
+	ready bool
+	ch    chan int
+}
+
+func (w *W) Pending() []int { return w.regs }
+
+func (w *W) Advance(choice int, v int) {
+	for { // want `unbounded loop on the machine step path \(no loop condition in Advance, reachable from W\.Advance\)`
+		if w.probe() == 0 {
+			break
+		}
+	}
+	w.scan()
+}
+
+func (w *W) Done() bool {
+	for !w.ready { // want `unbounded loop on the machine step path \(loop condition without a static bound in Done, reachable from W\.Done\)`
+	}
+	for w.probe() == 0 { // want `unbounded loop on the machine step path \(loop condition without a static bound in Done, reachable from W\.Done\)`
+	}
+	return w.ready
+}
+
+func (w *W) probe() int { return w.x - w.y }
+
+// scan hides its spin loop one call away from the step method: only the
+// reachability walk sees it.
+func (w *W) scan() {
+	for w.x != w.y { // want `unbounded loop on the machine step path \(loop condition without a static bound in scan, reachable from W\.Advance\)`
+		w.x++
+	}
+	for v := range w.ch { // want `unbounded loop on the machine step path \(range over a channel in scan, reachable from W\.Advance\)`
+		_ = v
+	}
+	for v := range w.iter { // want `unbounded loop on the machine step path \(range over an iterator function in scan, reachable from W\.Advance\)`
+		_ = v
+	}
+}
+
+func (w *W) iter(yield func(int) bool) {
+	for i := 0; i < len(w.regs); i++ {
+		if !yield(w.regs[i]) {
+			return
+		}
+	}
+}

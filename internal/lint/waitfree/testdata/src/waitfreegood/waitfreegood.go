@@ -1,0 +1,71 @@
+// Package waitfreegood holds loops the waitfree analyzer must accept:
+// statically bounded trips, loops off the step path, and justified or
+// suppressed spins.
+package waitfreegood
+
+// G is machine-shaped.
+type G struct {
+	regs []int
+	x, y int
+	n    int
+	done bool
+}
+
+func (g *G) Pending() []int {
+	out := make([]int, 0, len(g.regs))
+	for i := 0; i < len(g.regs); i++ {
+		out = append(out, g.regs[i])
+	}
+	return out
+}
+
+func (g *G) Advance(choice int, v int) {
+	for _, r := range g.regs {
+		_ = r
+	}
+	for i := range g.n {
+		_ = i
+	}
+	k := g.n
+	for i := 0; i < k; i++ {
+		g.x++
+	}
+	for i := 0; i < 2*k+1; i++ {
+		g.y++
+	}
+	g.collect()
+}
+
+func (g *G) Done() bool {
+	//lint:bound double collect: at most n writers, each moves x toward y once (covering argument, PAPER.md §3)
+	for g.x != g.y {
+		g.x++
+	}
+	//lint:ignore anonlint/waitfree fixture: plain suppression also silences waitfree
+	for !g.done {
+	}
+	return g.done
+}
+
+func (g *G) collect() {
+	for i := 0; i < len(g.regs) && g.x < g.y; i++ {
+		_ = g.regs[i]
+	}
+}
+
+// offPath is never called from a step method: its spin loop is the
+// scheduler's business, not the machine's, and must stay silent.
+func (g *G) offPath() {
+	for {
+	}
+}
+
+// Helper is a plain function in a machine package but unreachable from
+// any step method.
+func Helper(ch chan int) int {
+	s := 0
+	for v := range ch {
+		s += v
+	}
+	return s
+}

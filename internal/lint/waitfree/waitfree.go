@@ -1,0 +1,280 @@
+// Package waitfree implements the anonlint/waitfree analyzer.
+//
+// Wait-freedom (PAPER.md §2) demands that every processor completes each
+// of its own steps in a bounded number of its own operations, regardless
+// of how the adversary schedules everyone else. In this codebase a step
+// is a call into the machine protocol — Pending, Advance or Done on a
+// machine-shaped type — plus whatever in-package helpers those methods
+// reach. A loop on that path whose trip count cannot be bounded
+// statically is how wait-freedom silently dies: one retry loop that
+// spins until a peer cooperates turns a wait-free construction into a
+// lock-free (or blocking) one and voids the covering argument built on
+// it.
+//
+// The analyzer computes the set of functions reachable from machine step
+// methods through in-package calls and requires every for/range loop in
+// that set to have a statically bounded trip count:
+//
+//   - range over a slice, array, map, string or integer is bounded by
+//     the size of the ranged value;
+//   - a for-loop whose condition compares against a constant, a len()
+//     or cap() call, or a plain identifier (a bound fixed before the
+//     loop) is accepted;
+//   - everything else — for {}, channel ranges, iterator (range-over-
+//     func) loops, conditions that re-read mutable state — is flagged.
+//
+// A loop the author can argue terminates in a bounded number of steps
+// anyway (e.g. bounded by a structural invariant the checker cannot
+// see) carries a "//lint:bound reason" directive on the line of the
+// loop or the line above; the reason is mandatory. Ordinary
+// //lint:ignore anonlint/waitfree suppressions also work, but
+// //lint:bound is the idiomatic form because it documents the bound
+// rather than silencing the finding.
+package waitfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"anonshm/internal/lint/lintutil"
+)
+
+const name = "waitfree"
+
+// Analyzer is the anonlint/waitfree analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "require statically bounded loops on machine step paths\n\n" +
+		"Wait-free machines complete every Pending/Advance/Done call in a bounded number of " +
+		"their own operations. Loops reachable from those methods must have a statically " +
+		"evident trip bound (constant, len/cap, or a pre-loop variable) or carry a " +
+		"//lint:bound justification.",
+	Run: run,
+}
+
+// stepMethods are the machine protocol entry points: a loop is on the
+// wait-free path when one of these can reach it.
+var stepMethods = map[string]bool{"Pending": true, "Advance": true, "Done": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	machines := lintutil.MachineTypes(pass.Pkg)
+	if len(machines) == 0 {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass, name)
+
+	// Map every in-package function object to its declaration so the
+	// reachability walk can cross call edges.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	lintutil.WalkFiles(pass, func(f *ast.File) {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	})
+
+	// Roots: Pending/Advance/Done on machine-shaped receivers.
+	type root struct {
+		fn    *types.Func
+		entry string
+	}
+	var work []root
+	for fn, fd := range decls {
+		if fd.Recv == nil || !stepMethods[fn.Name()] {
+			continue
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && lintutil.MachineShaped(recv.Type()) {
+			work = append(work, root{fn, recvName(recv.Type()) + "." + fn.Name()})
+		}
+	}
+
+	// Breadth-first reachability over in-package calls, remembering the
+	// entry method that first reached each function for the diagnostic.
+	via := map[*types.Func]string{}
+	for len(work) > 0 {
+		r := work[0]
+		work = work[1:]
+		if _, seen := via[r.fn]; seen {
+			continue
+		}
+		via[r.fn] = r.entry
+		ast.Inspect(decls[r.fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok {
+				if _, in := decls[callee]; in {
+					work = append(work, root{callee, r.entry})
+				}
+			}
+			return true
+		})
+	}
+
+	for fn, entry := range via {
+		checkLoops(pass, rep, decls[fn], entry)
+	}
+	return nil, nil
+}
+
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+func checkLoops(pass *analysis.Pass, rep *lintutil.Reporter, fd *ast.FuncDecl, entry string) {
+	if lintutil.IsTestFile(pass.Fset, fd.Pos()) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			if reason := rangeUnbounded(pass, loop); reason != "" {
+				report(pass, rep, loop.Pos(), fd, entry, reason)
+			}
+		case *ast.ForStmt:
+			if reason := forUnbounded(pass, loop); reason != "" {
+				report(pass, rep, loop.Pos(), fd, entry, reason)
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, rep *lintutil.Reporter, pos token.Pos, fd *ast.FuncDecl, entry, reason string) {
+	if lintutil.BoundJustified(pass, pos) {
+		return
+	}
+	rep.Reportf(pos,
+		"unbounded loop on the machine step path (%s in %s, reachable from %s); wait-freedom requires a statically bounded trip count — bound it by a constant, len/cap or a pre-loop variable, or justify with //lint:bound (PAPER.md §2)",
+		reason, fd.Name.Name, entry)
+}
+
+// rangeUnbounded classifies a range statement; bounded ranges return "".
+func rangeUnbounded(pass *analysis.Pass, loop *ast.RangeStmt) string {
+	t := pass.TypesInfo.TypeOf(loop.X)
+	if t == nil {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map, *types.Pointer:
+		return ""
+	case *types.Basic:
+		if u.Info()&(types.IsInteger|types.IsString) != 0 {
+			return ""
+		}
+	case *types.Chan:
+		return "range over a channel"
+	case *types.Signature:
+		return "range over an iterator function"
+	}
+	return "range over an unbounded value"
+}
+
+// forUnbounded classifies a for statement; bounded loops return "".
+func forUnbounded(pass *analysis.Pass, loop *ast.ForStmt) string {
+	if loop.Cond == nil {
+		return "no loop condition"
+	}
+	if boundedCond(pass, loop.Cond) {
+		return ""
+	}
+	return "loop condition without a static bound"
+}
+
+// boundedCond accepts comparisons whose limit side is statically fixed
+// before the loop runs: a constant, len()/cap(), or a plain variable
+// (mutating the bound inside the body is out of model for this checker;
+// the codebase never does and the race detector would catch shared
+// mutation anyway).
+func boundedCond(pass *analysis.Pass, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			// A conjunction is bounded when either side is; a
+			// disjunction only when both are.
+			if e.Op == token.LAND {
+				return boundedCond(pass, e.X) || boundedCond(pass, e.Y)
+			}
+			return boundedCond(pass, e.X) && boundedCond(pass, e.Y)
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+			// Bounded shapes: an induction identifier against any fixed
+			// expression ("i < len(regs)", "i < 2*k+1", "i < s.n"), or a
+			// constant/len limit against a non-call ("x != 0"). Selector-
+			// against-selector ("w.x != w.y") and call-against-constant
+			// ("w.probe() == 0") re-read mutable state: spin loops.
+			if isIdent(e.X) && fixedLimit(pass, e.Y) || isIdent(e.Y) && fixedLimit(pass, e.X) {
+				return true
+			}
+			return (constOrLen(pass, e.X) && !isCall(e.Y)) ||
+				(constOrLen(pass, e.Y) && !isCall(e.X))
+		}
+	}
+	return false
+}
+
+func isIdent(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+func isCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+		return false
+	}
+	return true
+}
+
+// constOrLen reports whether e is a constant or a len/cap call — the
+// limits that are fixed regardless of what the other side is.
+func constOrLen(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fixedLimit reports whether e is a limit expression built from parts
+// fixed before loop entry: constants, len/cap, identifiers, selectors,
+// and arithmetic over them.
+func fixedLimit(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if constOrLen(pass, e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return true
+	case *ast.BinaryExpr:
+		return fixedLimit(pass, e.X) && fixedLimit(pass, e.Y)
+	case *ast.UnaryExpr:
+		return fixedLimit(pass, e.X)
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package waitfree_test
+
+import (
+	"testing"
+
+	"anonshm/internal/lint/linttest"
+	"anonshm/internal/lint/waitfree"
+)
+
+// TestGolden seeds each unbounded-loop shape (bare for, spin-on-state,
+// helper-hidden spin, channel and iterator ranges) and each accepted
+// bound (len, range, pre-loop variable, //lint:bound, //lint:ignore,
+// off-path loops).
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "testdata", waitfree.Analyzer, "waitfreebad", "waitfreegood")
+}
